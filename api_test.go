@@ -1,0 +1,155 @@
+package temperedlb_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"temperedlb"
+)
+
+// TestPublicAPIEndToEnd drives the whole curated surface: workload
+// generation, every strategy constructor, the engine, the metric
+// helpers, and the runtime wrappers.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := temperedlb.VBWorkload(1)
+	spec.NumRanks = 128
+	spec.LoadedRanks = 4
+	spec.NumTasks = 400
+	a, err := temperedlb.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Imbalance() < 5 {
+		t.Fatalf("workload not skewed: %g", a.Imbalance())
+	}
+
+	strategies := []temperedlb.Strategy{
+		temperedlb.NewTemperedLB(),
+		temperedlb.NewGrapevineLB(),
+		temperedlb.NewGreedyLB(),
+		temperedlb.NewHierLB(4),
+		temperedlb.NewRefineLB(),
+	}
+	for _, s := range strategies {
+		plan, err := s.Rebalance(a)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if plan.FinalImbalance > plan.InitialImbalance {
+			t.Errorf("%s worsened imbalance", s.Name())
+		}
+		if s.Name() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+}
+
+func TestPublicAPIEngineWithCustomConfig(t *testing.T) {
+	cfg := temperedlb.Tempered()
+	cfg.Order = temperedlb.OrderLightest
+	cfg.Trials, cfg.Iterations = 2, 3
+	cfg.Criterion = temperedlb.CriterionRelaxed
+	cfg.CMF = temperedlb.CMFModified
+	eng, err := temperedlb.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := temperedlb.NewAssignment(16)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a.Add(rng.Float64(), temperedlb.Rank(rng.Intn(2)))
+	}
+	res, err := eng.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalImbalance >= res.InitialImbalance {
+		t.Errorf("no improvement: %+v", res)
+	}
+}
+
+func TestPublicAPIParseOrdering(t *testing.T) {
+	ord, err := temperedlb.ParseOrdering("lightest")
+	if err != nil || ord != temperedlb.OrderLightest {
+		t.Errorf("ParseOrdering: %v %v", ord, err)
+	}
+	if _, err := temperedlb.ParseOrdering("nope"); err == nil {
+		t.Error("bad ordering accepted")
+	}
+}
+
+func TestPublicAPIWorkloadModels(t *testing.T) {
+	for _, lm := range []struct {
+		name string
+		m    temperedlb.WorkloadSpec
+	}{
+		{"uniform", temperedlb.WorkloadSpec{NumRanks: 8, NumTasks: 40, Placement: temperedlb.PlaceUniform, Loads: temperedlb.LoadUniform, Seed: 1}},
+		{"skewed-exp", temperedlb.WorkloadSpec{NumRanks: 8, NumTasks: 40, Placement: temperedlb.PlaceSkewed, Loads: temperedlb.LoadExponential, Seed: 2}},
+		{"clustered-unit", temperedlb.WorkloadSpec{NumRanks: 8, NumTasks: 40, Placement: temperedlb.PlaceClustered, LoadedRanks: 2, Loads: temperedlb.LoadUnit, Seed: 3}},
+		{"mixture", temperedlb.WorkloadSpec{NumRanks: 8, NumTasks: 40, Placement: temperedlb.PlaceClustered, LoadedRanks: 2, Loads: temperedlb.LoadMixture, HeavyFraction: 0.3, Seed: 4}},
+	} {
+		a, err := temperedlb.GenerateWorkload(lm.m)
+		if err != nil {
+			t.Errorf("%s: %v", lm.name, err)
+			continue
+		}
+		if a.NumTasks() != 40 {
+			t.Errorf("%s: %d tasks", lm.name, a.NumTasks())
+		}
+	}
+}
+
+// TestPublicAPIRuntime exercises the runtime surface: collections,
+// phases, the load model, collectives and the distributed balancer.
+func TestPublicAPIRuntime(t *testing.T) {
+	const hWork temperedlb.HandlerID = 10
+	rt := temperedlb.NewRuntime(6)
+	lbh := temperedlb.RegisterLBHandlers(rt, 20)
+	rt.RegisterObject(hWork, func(rc *temperedlb.RankContext, obj temperedlb.ObjectID, state any, from temperedlb.Rank, data any) {
+		// no-op
+	})
+	var mu sync.Mutex
+	finals := map[temperedlb.Rank]float64{}
+	rt.Run(func(rc *temperedlb.RankContext) {
+		col := rc.CreateCollection(1, 24, func(i int) any { return i })
+		model := temperedlb.NewLoadModel(1)
+		rc.Barrier()
+		// Two phases of uneven work: rank 0's elements cost 10x.
+		for phase := 0; phase < 2; phase++ {
+			rc.PhaseBegin()
+			for _, idx := range col.LocalIndices(rc) {
+				w := 1.0
+				if rc.Rank() == 0 {
+					w = 10
+				}
+				rc.RecordWork(col.Element(idx), w)
+			}
+			model.Observe(rc.PhaseEnd())
+			rc.Barrier()
+		}
+		cfg := temperedlb.Tempered()
+		cfg.Trials, cfg.Iterations, cfg.Rounds = 2, 3, 3
+		loads := map[temperedlb.ObjectID]float64{}
+		for _, idx := range col.LocalIndices(rc) {
+			loads[col.Element(idx)] = model.Predict(col.Element(idx))
+		}
+		res, err := temperedlb.RunDistributedLB(rc, lbh, cfg, loads)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		finals[rc.Rank()] = res.FinalImbalance
+		mu.Unlock()
+		sum := rc.AllReduce(float64(len(col.LocalIndices(rc))), temperedlb.ReduceSum)
+		if sum != 24 {
+			t.Errorf("collection census %g", sum)
+		}
+	})
+	for r, f := range finals {
+		if f >= finals[0]+1e-9 || f <= finals[0]-1e-9 {
+			t.Errorf("rank %d disagrees on final I: %g vs %g", r, f, finals[0])
+		}
+	}
+}

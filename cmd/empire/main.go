@@ -1,0 +1,159 @@
+// Command empire runs the EMPIRE-like PIC benchmark across the paper's
+// five configurations and emits the data behind Figs. 2, 3 and 4a–d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/empire"
+	"temperedlb/internal/lbaf"
+	"temperedlb/internal/mesh"
+	"temperedlb/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("empire: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig4c | fig4d | all")
+		scale    = flag.String("scale", "full", "full (paper scale, 400 ranks) | small (test scale)")
+		steps    = flag.Int("steps", 0, "override timestep count (0 = config default)")
+		trials   = flag.Int("trials", 0, "override TemperedLB trials (0 = paper's 10)")
+		iters    = flag.Int("iters", 0, "override TemperedLB iterations (0 = paper's 8)")
+		rounds   = flag.Int("k", 3, "gossip rounds for the distributed balancers (~log_f P)")
+		every    = flag.Int("every", 0, "series sampling stride (0 = auto)")
+		seed     = flag.Int64("seed", 1, "physics seed")
+		csvDir   = flag.String("csv", "", "also dump per-step series as CSV files into this directory")
+		plot     = flag.Bool("plot", false, "render ASCII charts of the fig4a/fig4c series")
+		dumpStep = flag.Int("dumpstep", 0, "run the physics to this step and dump the color loads as a JSON workload trace (requires -dumpfile)")
+		dumpFile = flag.String("dumpfile", "", "trace output path for -dumpstep")
+	)
+	flag.Parse()
+
+	cfg := empire.Default()
+	if *scale == "small" {
+		cfg = empire.Small()
+	}
+	cfg.Seed = *seed
+	if *steps > 0 {
+		cfg.Steps = *steps
+		cfg.Dt = 1.0 / float64(*steps)
+	}
+	stride := cfg.Steps / 30
+	if stride < 1 {
+		stride = 1
+	}
+	if *every > 0 {
+		stride = *every
+	}
+
+	tweak := func(c core.Config) core.Config {
+		if *trials > 0 {
+			c.Trials = *trials
+		}
+		if *iters > 0 {
+			c.Iterations = *iters
+		}
+		if *rounds > 0 {
+			c.Rounds = *rounds
+		}
+		return c
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if *dumpStep > 0 {
+		if *dumpFile == "" {
+			log.Fatal("-dumpstep requires -dumpfile")
+		}
+		if err := dumpWorkloadAt(cfg, *dumpStep, *dumpFile); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote step-%d color loads to %s (analyze with cmd/lbaf -workload)", *dumpStep, *dumpFile)
+		return
+	}
+
+	if want("fig2") || want("fig3") || want("fig4a") || want("fig4b") || want("fig4c") {
+		trackers := sim.StandardTrackers(tweak)
+		log.Printf("running %d configurations at %dx%d ranks, %d steps ...",
+			len(trackers), cfg.RanksX, cfg.RanksY, cfg.Steps)
+		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
+			log.Fatal(err)
+		}
+		if want("fig2") {
+			sim.RenderFig2(os.Stdout, trackers)
+			fmt.Println()
+		}
+		if want("fig3") {
+			sim.RenderFig3(os.Stdout, trackers)
+			fmt.Println()
+			sim.RenderLBStats(os.Stdout, trackers)
+			fmt.Println()
+		}
+		if want("fig4a") {
+			sim.RenderFig4a(os.Stdout, trackers, stride)
+			fmt.Println()
+		}
+		if want("fig4b") {
+			sim.RenderFig4b(os.Stdout, trackers, stride)
+			fmt.Println()
+		}
+		if want("fig4c") {
+			sim.RenderFig4c(os.Stdout, trackers, stride)
+			fmt.Println()
+		}
+		if *csvDir != "" {
+			if err := sim.WriteSeriesCSV(*csvDir, trackers); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote CSV series to %s", *csvDir)
+		}
+		if *plot {
+			sim.PlotStepTime(os.Stdout, trackers, 100, 16)
+			fmt.Println()
+			sim.PlotImbalance(os.Stdout, trackers, 100, 16)
+			fmt.Println()
+		}
+	}
+	if want("fig4d") {
+		trackers := sim.OrderingTrackers(tweak)
+		log.Printf("running %d ordering configurations ...", len(trackers))
+		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
+			log.Fatal(err)
+		}
+		sim.RenderFig4d(os.Stdout, trackers, stride)
+	}
+	if !strings.Contains("fig2 fig3 fig4a fig4b fig4c fig4d all", *exp) {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// dumpWorkloadAt advances the physics alone to the given step and
+// writes the per-color loads, homed under the static SPMD mapping, as a
+// JSON workload trace that cmd/lbaf can analyze.
+func dumpWorkloadAt(cfg empire.Config, step int, path string) error {
+	app, err := empire.NewApp(cfg)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for s := 0; s < step; s++ {
+		counts = app.Step()
+	}
+	loads := app.ColorLoads(counts)
+	a := core.NewAssignment(cfg.NumRanks())
+	for c, l := range loads {
+		a.Add(l, app.Coloring.HomeRank(mesh.ColorID(c)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return lbaf.SaveWorkload(f, a)
+}

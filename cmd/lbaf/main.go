@@ -1,0 +1,131 @@
+// Command lbaf runs the Load Balancing Analysis Framework experiments:
+// the §V-B and §V-D iteration tables and their comparison, plus custom
+// sweeps over the algorithm's knobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lbaf"
+	"temperedlb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbaf: ")
+	var (
+		exp     = flag.String("exp", "compare", "experiment: vb | vd | compare")
+		inFile  = flag.String("workload", "", "load the workload from a JSON trace instead of generating it")
+		outFile = flag.String("dump", "", "write the generated workload as a JSON trace and exit")
+		seed    = flag.Int64("seed", 1, "workload and algorithm seed")
+		iters   = flag.Int("iters", 10, "refinement iterations")
+		rounds  = flag.Int("k", 10, "gossip rounds")
+		fanout  = flag.Int("f", 6, "gossip fanout")
+		thresh  = flag.Float64("h", 1.0, "overload threshold")
+		ranks   = flag.Int("ranks", 1<<12, "total ranks")
+		loaded  = flag.Int("loaded", 1<<4, "initially loaded ranks")
+		tasks   = flag.Int("tasks", 10000, "task count")
+	)
+	flag.Parse()
+
+	spec := workload.VBCase(*seed)
+	spec.NumRanks = *ranks
+	spec.LoadedRanks = *loaded
+	spec.NumTasks = *tasks
+
+	if *outFile != "" {
+		a, err := workload.Generate(spec)
+		check(err)
+		f, err := os.Create(*outFile)
+		check(err)
+		check(lbaf.SaveWorkload(f, a))
+		check(f.Close())
+		log.Printf("wrote %d tasks over %d ranks to %s", a.NumTasks(), a.NumRanks(), *outFile)
+		return
+	}
+	var traced *core.Assignment
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		check(err)
+		traced, err = lbaf.LoadWorkload(f)
+		check(err)
+		check(f.Close())
+	}
+	table := func(title string, cfg core.Config) (lbaf.Table, error) {
+		if traced != nil {
+			return lbaf.RunIterationTableOn(title, traced, cfg)
+		}
+		return lbaf.RunIterationTable(title, spec, cfg)
+	}
+
+	base := core.Grapevine()
+	base.Iterations = *iters
+	base.Rounds = *rounds
+	base.Fanout = *fanout
+	base.Threshold = *thresh
+	base.Seed = *seed
+	// The paper's LBAF accounting implies rejected tasks are retried
+	// until a full traversal accepts nothing; enable that here so the
+	// evaluation counts are comparable to the paper's tables.
+	base.Passes = 0
+
+	switch *exp {
+	case "vb":
+		t, err := table("§V-B: original criterion", base)
+		check(err)
+		t.Render(os.Stdout)
+	case "vd":
+		cfg := base
+		cfg.Criterion = core.CriterionRelaxed
+		cfg.CMF = core.CMFModified
+		cfg.RecomputeCMF = true
+		t, err := table("§V-D: relaxed criterion", cfg)
+		check(err)
+		t.Render(os.Stdout)
+	case "compare":
+		var c lbaf.Comparison
+		var err error
+		if traced != nil {
+			c, err = lbaf.RunComparisonOn(traced, base)
+		} else {
+			c, err = lbaf.RunComparison(spec, base)
+		}
+		check(err)
+		c.Original.Render(os.Stdout)
+		fmt.Println()
+		c.Relaxed.Render(os.Stdout)
+		fmt.Println()
+		c.Render(os.Stdout)
+	case "sweep-gossip":
+		cfg := base
+		cfg.Criterion = core.CriterionRelaxed
+		cfg.CMF = core.CMFModified
+		cfg.RecomputeCMF = true
+		cfg.Trials = 1
+		sw, err := lbaf.RunSweep("gossip fanout/rounds sweep (relaxed criterion)", spec,
+			lbaf.GossipSweepConfigs(cfg, []int{2, 4, 6, 8}, []int{2, 4, 6, 10}))
+		check(err)
+		sw.Render(os.Stdout)
+	case "sweep-refine":
+		cfg := base
+		cfg.Criterion = core.CriterionRelaxed
+		cfg.CMF = core.CMFModified
+		cfg.RecomputeCMF = true
+		sw, err := lbaf.RunSweep("refinement trials/iterations sweep", spec,
+			lbaf.RefinementSweepConfigs(cfg, []int{1, 4, 10}, []int{1, 4, 8}))
+		check(err)
+		sw.Render(os.Stdout)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module temperedlb
+
+go 1.22

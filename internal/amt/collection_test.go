@@ -1,0 +1,208 @@
+package amt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+type element struct {
+	Index int
+	Hits  int
+}
+
+const (
+	hElemPoke HandlerID = 50 + iota
+	hElemBcast
+)
+
+func TestCollectionCreationBlockMapped(t *testing.T) {
+	rt := New(4)
+	var mu sync.Mutex
+	hosted := map[core.Rank][]int{}
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(1, 16, func(i int) any { return &element{Index: i} })
+		if col.Size() != 16 {
+			t.Errorf("Size = %d", col.Size())
+		}
+		mu.Lock()
+		hosted[rc.Rank()] = col.LocalIndices(rc)
+		mu.Unlock()
+	})
+	// Block mapping: 4 consecutive elements per rank.
+	for r := 0; r < 4; r++ {
+		idxs := hosted[core.Rank(r)]
+		if len(idxs) != 4 {
+			t.Fatalf("rank %d hosts %d elements", r, len(idxs))
+		}
+		for k, idx := range idxs {
+			if idx != r*4+k {
+				t.Errorf("rank %d hosts %v, want consecutive block", r, idxs)
+			}
+		}
+	}
+}
+
+func TestCollectionElementIDsConsistentAcrossRanks(t *testing.T) {
+	rt := New(3)
+	ids := make([][]ObjectID, 3)
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(2, 9, func(i int) any { return &element{Index: i} })
+		own := make([]ObjectID, 9)
+		for i := 0; i < 9; i++ {
+			own[i] = col.Element(i)
+		}
+		ids[rc.Rank()] = own
+	})
+	for r := 1; r < 3; r++ {
+		for i := 0; i < 9; i++ {
+			if ids[r][i] != ids[0][i] {
+				t.Fatalf("element %d id differs between ranks", i)
+			}
+		}
+	}
+}
+
+func TestCollectionIndexRoundTrip(t *testing.T) {
+	rt := New(4)
+	rt.Run(func(rc *Context) {
+		if rc.Rank() != 0 {
+			return
+		}
+		col := rc.CreateCollection(3, 100, func(i int) any { return &element{Index: i} })
+		for i := 0; i < 100; i++ {
+			idx, ok := col.Index(col.Element(i))
+			if !ok || idx != i {
+				t.Errorf("Index round trip failed for %d: %d %v", i, idx, ok)
+			}
+		}
+		// Foreign ids are rejected.
+		other := rc.CreateObject(&element{})
+		if _, ok := col.Index(other); ok {
+			t.Error("plain object id accepted as collection element")
+		}
+		col2 := rc.CreateCollection(4, 100, func(i int) any { return &element{Index: i} })
+		if _, ok := col.Index(col2.Element(5)); ok {
+			t.Error("other collection's id accepted")
+		}
+	})
+}
+
+func TestCollectionSendByIndex(t *testing.T) {
+	rt := New(4)
+	var hits atomic.Int32
+	rt.RegisterObject(hElemPoke, func(rc *Context, obj ObjectID, state any, from core.Rank, data any) {
+		e := state.(*element)
+		if e.Index != data.(int) {
+			t.Errorf("element %d received message for %d", e.Index, data)
+		}
+		hits.Add(1)
+	})
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(5, 12, func(i int) any { return &element{Index: i} })
+		rc.Barrier()
+		rc.Epoch(func() {
+			if rc.Rank() == 0 {
+				for i := 0; i < 12; i++ {
+					col.Send(rc, i, hElemPoke, i)
+				}
+			}
+		})
+	})
+	if hits.Load() != 12 {
+		t.Errorf("hits = %d, want 12", hits.Load())
+	}
+}
+
+func TestCollectionSendAfterMigration(t *testing.T) {
+	rt := New(4)
+	var handledOn atomic.Int32
+	handledOn.Store(-1)
+	rt.RegisterObject(hElemPoke, func(rc *Context, obj ObjectID, state any, from core.Rank, data any) {
+		handledOn.Store(int32(rc.Rank()))
+	})
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(6, 8, func(i int) any { return &element{Index: i} })
+		rc.Barrier()
+		// Element 0 is homed on rank 0; move it to rank 3.
+		rc.Epoch(func() {
+			if rc.Rank() == 0 {
+				col.Migrate(rc, 0, 3)
+			}
+		})
+		// Rank 1 addresses it by index with stale knowledge.
+		rc.Epoch(func() {
+			if rc.Rank() == 1 {
+				col.Send(rc, 0, hElemPoke, nil)
+			}
+		})
+	})
+	if handledOn.Load() != 3 {
+		t.Errorf("handled on rank %d, want 3", handledOn.Load())
+	}
+}
+
+func TestCollectionBroadcastLocalDelivery(t *testing.T) {
+	rt := New(4)
+	rt.RegisterObject(hElemBcast, func(rc *Context, obj ObjectID, state any, from core.Rank, data any) {
+		state.(*element).Hits++
+	})
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(7, 16, func(i int) any { return &element{Index: i} })
+		rc.Barrier()
+		col.Broadcast(rc, hElemBcast, nil)
+		rc.Barrier()
+		// Every local element got exactly one hit.
+		for _, idx := range col.LocalIndices(rc) {
+			st, _ := rc.ObjectState(col.Element(idx))
+			if st.(*element).Hits != 1 {
+				t.Errorf("element %d hits = %d", idx, st.(*element).Hits)
+			}
+		}
+	})
+}
+
+func TestCollectionBroadcastFollowsMigration(t *testing.T) {
+	rt := New(2)
+	var total atomic.Int32
+	rt.RegisterObject(hElemBcast, func(rc *Context, obj ObjectID, state any, from core.Rank, data any) {
+		total.Add(1)
+	})
+	rt.Run(func(rc *Context) {
+		col := rc.CreateCollection(8, 6, func(i int) any { return &element{Index: i} })
+		rc.Barrier()
+		rc.Epoch(func() {
+			// Rank 0 ships all its elements to rank 1.
+			if rc.Rank() == 0 {
+				for _, idx := range col.LocalIndices(rc) {
+					col.Migrate(rc, idx, 1)
+				}
+			}
+		})
+		col.Broadcast(rc, hElemBcast, nil)
+		rc.Barrier()
+		if rc.Rank() == 0 && len(col.LocalIndices(rc)) != 0 {
+			t.Error("rank 0 still hosts elements")
+		}
+	})
+	if total.Load() != 6 {
+		t.Errorf("broadcast reached %d elements, want 6", total.Load())
+	}
+}
+
+func TestCollectionValidation(t *testing.T) {
+	rt := New(2)
+	rt.Run(func(rc *Context) {
+		if rc.Rank() != 0 {
+			return
+		}
+		mustPanicAMT(t, "zero size", func() { rc.CreateCollection(9, 0, func(int) any { return nil }) })
+		mustPanicAMT(t, "huge size", func() { rc.CreateCollection(9, 1<<24, func(int) any { return nil }) })
+		mustPanicAMT(t, "bad id", func() { rc.CreateCollection(-1, 4, func(int) any { return nil }) })
+		col := rc.CreateCollection(9, 4, func(i int) any { return &element{} })
+		mustPanicAMT(t, "duplicate", func() { rc.CreateCollection(9, 4, func(i int) any { return &element{} }) })
+		mustPanicAMT(t, "bad index", func() { col.Element(99) })
+	})
+}

@@ -1,0 +1,213 @@
+package amt
+
+import (
+	"fmt"
+	"math"
+
+	"temperedlb/internal/comm"
+	"temperedlb/internal/core"
+)
+
+// ReduceOp selects the combining operation of AllReduce.
+type ReduceOp int
+
+const (
+	// ReduceSum adds contributions.
+	ReduceSum ReduceOp = iota
+	// ReduceMax takes the maximum contribution.
+	ReduceMax
+	// ReduceMin takes the minimum contribution.
+	ReduceMin
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceMax:
+		return math.Max(a, b)
+	case ReduceMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("amt: unknown reduce op %d", op))
+	}
+}
+
+type barrierArrive struct{ Seq int64 }
+
+type reduceArrive struct {
+	Seq   int64
+	Value float64
+	Op    ReduceOp
+}
+
+type reduceResult struct {
+	Seq   int64
+	Value float64
+}
+
+// Barrier blocks until every rank has reached the same barrier call.
+// Collectives must be called by all ranks in the same order; they are
+// coordinated by rank 0. While waiting, the rank keeps scheduling
+// incoming messages, so application traffic cannot deadlock a barrier.
+func (rc *Context) Barrier() {
+	rc.collSeq++
+	seq := rc.collSeq
+	if rc.rank == 0 {
+		rc.onBarrierArrive(comm.Message{From: 0, Data: barrierArrive{Seq: seq}})
+	} else {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: 0, Kind: kindBarrier,
+			Data: barrierArrive{Seq: seq},
+		})
+	}
+	for !rc.barReleased[seq] {
+		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		if !ok {
+			panic("amt: network closed inside barrier")
+		}
+		rc.dispatch(m)
+	}
+	delete(rc.barReleased, seq)
+}
+
+func (rc *Context) onBarrierArrive(m comm.Message) {
+	ba := m.Data.(barrierArrive)
+	rc.barArrivals[ba.Seq]++
+	if rc.barArrivals[ba.Seq] == rc.n {
+		delete(rc.barArrivals, ba.Seq)
+		rc.barReleased[ba.Seq] = true // local release for rank 0
+		for r := 1; r < rc.n; r++ {
+			rc.rt.nw.Send(comm.Message{
+				From: 0, To: r, Kind: kindRelease, Data: ba.Seq,
+			})
+		}
+	}
+}
+
+// AllReduce combines value across all ranks with op and returns the
+// result on every rank. This is the constant-size statistics all-reduce
+// that precedes every LB invocation (§IV-B).
+func (rc *Context) AllReduce(value float64, op ReduceOp) float64 {
+	rc.collSeq++
+	seq := rc.collSeq
+	if rc.rank == 0 {
+		rc.onReduceArrive(comm.Message{From: 0, Data: reduceArrive{Seq: seq, Value: value, Op: op}})
+	} else {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: 0, Kind: kindReduce,
+			Data: reduceArrive{Seq: seq, Value: value, Op: op},
+		})
+	}
+	for !rc.redHasResult[seq] {
+		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		if !ok {
+			panic("amt: network closed inside allreduce")
+		}
+		rc.dispatch(m)
+	}
+	v := rc.redResult[seq]
+	delete(rc.redResult, seq)
+	delete(rc.redHasResult, seq)
+	return v
+}
+
+func (rc *Context) onReduceArrive(m comm.Message) {
+	ra := m.Data.(reduceArrive)
+	st, ok := rc.redState[ra.Seq]
+	if !ok {
+		st = &reduce{acc: ra.Value, op: ra.Op, count: 1}
+		rc.redState[ra.Seq] = st
+	} else {
+		st.acc = st.op.combine(st.acc, ra.Value)
+		st.count++
+	}
+	if st.count == rc.n {
+		delete(rc.redState, ra.Seq)
+		rc.redResult[ra.Seq] = st.acc // local result for rank 0
+		rc.redHasResult[ra.Seq] = true
+		for r := 1; r < rc.n; r++ {
+			rc.rt.nw.Send(comm.Message{
+				From: 0, To: r, Kind: kindReduceResult,
+				Data: reduceResult{Seq: ra.Seq, Value: st.acc},
+			})
+		}
+	}
+}
+
+// AllReduceSummary composes the three reductions of the gossip
+// prologue: per-rank load max, min and sum, returning them to all ranks.
+func (rc *Context) AllReduceSummary(load float64) (max, min, sum float64) {
+	max = rc.AllReduce(load, ReduceMax)
+	min = rc.AllReduce(load, ReduceMin)
+	sum = rc.AllReduce(load, ReduceSum)
+	return max, min, sum
+}
+
+type gatherArrive struct {
+	Seq   int64
+	Rank  core.Rank
+	Value float64
+}
+
+type gatherResult struct {
+	Seq    int64
+	Values []float64
+}
+
+// AllGather collects one float64 from every rank and returns the full
+// vector, indexed by rank, on every rank. Like the other collectives it
+// must be called by all ranks in matching order.
+func (rc *Context) AllGather(value float64) []float64 {
+	rc.collSeq++
+	seq := rc.collSeq
+	if rc.rank == 0 {
+		rc.onGatherArrive(comm.Message{From: 0, Data: gatherArrive{Seq: seq, Rank: 0, Value: value}})
+	} else {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: 0, Kind: kindGather,
+			Data: gatherArrive{Seq: seq, Rank: rc.rank, Value: value},
+		})
+	}
+	for rc.gatherResult[seq] == nil {
+		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		if !ok {
+			panic("amt: network closed inside allgather")
+		}
+		rc.dispatch(m)
+	}
+	v := rc.gatherResult[seq]
+	delete(rc.gatherResult, seq)
+	return v
+}
+
+func (rc *Context) onGatherArrive(m comm.Message) {
+	ga := m.Data.(gatherArrive)
+	st := rc.gatherState[ga.Seq]
+	if st == nil {
+		st = &gather{values: make([]float64, rc.n), seen: make([]bool, rc.n)}
+		rc.gatherState[ga.Seq] = st
+	}
+	if !st.seen[ga.Rank] {
+		st.seen[ga.Rank] = true
+		st.values[ga.Rank] = ga.Value
+		st.count++
+	}
+	if st.count == rc.n {
+		delete(rc.gatherState, ga.Seq)
+		rc.gatherResult[ga.Seq] = st.values // local result for rank 0
+		for r := 1; r < rc.n; r++ {
+			out := append([]float64(nil), st.values...)
+			rc.rt.nw.Send(comm.Message{
+				From: 0, To: r, Kind: kindGatherResult,
+				Data: gatherResult{Seq: ga.Seq, Values: out},
+			})
+		}
+	}
+}
+
+type gather struct {
+	values []float64
+	seen   []bool
+	count  int
+}

@@ -1,0 +1,340 @@
+package amt
+
+import (
+	"fmt"
+
+	"temperedlb/internal/comm"
+	"temperedlb/internal/core"
+	"temperedlb/internal/termination"
+)
+
+// Transport-level message kinds.
+const (
+	kindUser comm.Kind = iota
+	kindObject
+	kindMigrate
+	kindLocUpdate
+	kindToken
+	kindDone
+	kindBarrier
+	kindRelease
+	kindReduce
+	kindReduceResult
+	kindGather
+	kindGatherResult
+)
+
+// envelope wraps user payloads with the epoch tag used by termination
+// detection. EpochID 0 means the message is not part of any epoch.
+type envelope struct {
+	EpochID int64
+	Data    any
+}
+
+// objEnvelope routes object-directed messages.
+type objEnvelope struct {
+	EpochID int64
+	Obj     ObjectID
+	Origin  core.Rank // logical sender (preserved across forwards)
+	Data    any
+}
+
+// migrateEnvelope carries a migrating object's state.
+type migrateEnvelope struct {
+	EpochID int64
+	Obj     ObjectID
+	State   any
+	Bytes   int
+}
+
+// locEnvelope updates the home rank's location directory.
+type locEnvelope struct {
+	EpochID int64
+	Obj     ObjectID
+	Loc     core.Rank
+}
+
+// tokenEnvelope carries the Safra probe.
+type tokenEnvelope struct {
+	EpochID int64
+	Token   termination.Token
+}
+
+// Context is a logical rank's handle to the runtime. All of its methods
+// must be called from the rank's own goroutine (the one running main or
+// a handler dispatched on it).
+type Context struct {
+	rt   *Runtime
+	rank core.Rank
+	n    int
+
+	epochSeq  int64 // id of the current (or last) epoch entered
+	inEpoch   bool
+	epochDone bool
+	detectors map[int64]*termination.Detector
+	pending   map[int64][]comm.Message
+
+	collSeq      int64
+	barArrivals  map[int64]int     // rank 0: arrivals per barrier seq
+	barReleased  map[int64]bool    // releases received
+	redState     map[int64]*reduce // rank 0: accumulation per reduce seq
+	redResult    map[int64]float64 // results received
+	redHasResult map[int64]bool
+	gatherState  map[int64]*gather   // rank 0: accumulation per gather seq
+	gatherResult map[int64][]float64 // results received
+
+	objects  map[ObjectID]any
+	location map[ObjectID]core.Rank
+	objSeq   int64
+
+	phase phaseState
+
+	// Stats counts this rank's traffic for experiment accounting.
+	Stats ContextStats
+}
+
+// ContextStats aggregates per-rank runtime statistics.
+type ContextStats struct {
+	UserSent       int
+	ObjectSent     int
+	Forwards       int
+	Migrations     int
+	MigrationBytes int
+	EpochsRun      int
+}
+
+type reduce struct {
+	count int
+	acc   float64
+	op    ReduceOp
+}
+
+func newContext(rt *Runtime, rank core.Rank) *Context {
+	return &Context{
+		rt:           rt,
+		rank:         rank,
+		n:            rt.n,
+		detectors:    make(map[int64]*termination.Detector),
+		pending:      make(map[int64][]comm.Message),
+		barArrivals:  make(map[int64]int),
+		barReleased:  make(map[int64]bool),
+		redState:     make(map[int64]*reduce),
+		redResult:    make(map[int64]float64),
+		redHasResult: make(map[int64]bool),
+		gatherState:  make(map[int64]*gather),
+		gatherResult: make(map[int64][]float64),
+		objects:      make(map[ObjectID]any),
+		location:     make(map[ObjectID]core.Rank),
+	}
+}
+
+// Rank returns this context's rank.
+func (rc *Context) Rank() core.Rank { return rc.rank }
+
+// NumRanks returns the number of ranks.
+func (rc *Context) NumRanks() int { return rc.n }
+
+// Send delivers an active message to the named handler on rank to. Sends
+// made while an epoch is open are counted by its termination detection.
+func (rc *Context) Send(to core.Rank, h HandlerID, data any) {
+	if _, ok := rc.rt.handlers[h]; !ok {
+		panic(fmt.Sprintf("amt: Send to unregistered handler %d", h))
+	}
+	rc.Stats.UserSent++
+	rc.send(comm.Message{
+		From:    int(rc.rank),
+		To:      int(to),
+		Kind:    kindUser,
+		Handler: int32(h),
+		Data:    envelope{EpochID: rc.activeEpoch(), Data: data},
+	})
+}
+
+// send stamps epoch accounting and hands the message to the transport.
+func (rc *Context) send(m comm.Message) {
+	if id := msgEpoch(m); id != 0 {
+		rc.detector(id).OnSend()
+	}
+	rc.rt.nw.Send(m)
+}
+
+func (rc *Context) activeEpoch() int64 {
+	if rc.inEpoch {
+		return rc.epochSeq
+	}
+	return 0
+}
+
+func (rc *Context) detector(id int64) *termination.Detector {
+	d, ok := rc.detectors[id]
+	if !ok {
+		d = termination.New(int(rc.rank), rc.n)
+		rc.detectors[id] = d
+	}
+	return d
+}
+
+// msgEpoch extracts the epoch tag from any counted message kind.
+func msgEpoch(m comm.Message) int64 {
+	switch m.Kind {
+	case kindUser:
+		return m.Data.(envelope).EpochID
+	case kindObject:
+		return m.Data.(objEnvelope).EpochID
+	case kindMigrate:
+		return m.Data.(migrateEnvelope).EpochID
+	case kindLocUpdate:
+		return m.Data.(locEnvelope).EpochID
+	default:
+		return 0
+	}
+}
+
+// Poll processes one pending message if any is queued and reports
+// whether it did. Use it to keep the scheduler turning during local
+// work outside epochs.
+func (rc *Context) Poll() bool {
+	m, ok := rc.rt.nw.Recv(int(rc.rank))
+	if !ok {
+		return false
+	}
+	rc.dispatch(m)
+	return true
+}
+
+// Epoch runs body — typically a burst of sends that trigger cascading
+// handlers — and then processes messages until distributed termination
+// detection concludes that every causally related message, on every
+// rank, has been received and processed. All ranks must call Epoch
+// collectively and in the same order.
+func (rc *Context) Epoch(body func()) {
+	if rc.inEpoch {
+		panic("amt: nested Epoch; epochs must be sequential")
+	}
+	rc.epochSeq++
+	rc.inEpoch = true
+	rc.epochDone = false
+	rc.Stats.EpochsRun++
+	d := rc.detector(rc.epochSeq)
+
+	// Deliver messages that raced ahead of our entry.
+	if stash := rc.pending[rc.epochSeq]; len(stash) > 0 {
+		delete(rc.pending, rc.epochSeq)
+		for _, m := range stash {
+			rc.dispatch(m)
+		}
+	}
+
+	body()
+
+	for !rc.epochDone {
+		// Drain everything already queued: we are active while messages
+		// remain.
+		for {
+			m, ok := rc.rt.nw.Recv(int(rc.rank))
+			if !ok {
+				break
+			}
+			rc.dispatch(m)
+		}
+		if rc.epochDone {
+			break
+		}
+		// Passive: participate in the termination probe.
+		if t, next, send := d.TryHandOff(); send {
+			rc.rt.nw.Send(comm.Message{
+				From: int(rc.rank), To: next, Kind: kindToken,
+				Data: tokenEnvelope{EpochID: rc.epochSeq, Token: t},
+			})
+		}
+		if d.Terminated() { // only rank 0
+			for r := 0; r < rc.n; r++ {
+				if r != int(rc.rank) {
+					rc.rt.nw.Send(comm.Message{
+						From: int(rc.rank), To: r, Kind: kindDone,
+						Data: rc.epochSeq,
+					})
+				}
+			}
+			break
+		}
+		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		if !ok {
+			panic("amt: network closed inside epoch")
+		}
+		rc.dispatch(m)
+	}
+	rc.inEpoch = false
+	delete(rc.detectors, rc.epochSeq)
+}
+
+// dispatch routes one transport message. Counted messages belonging to a
+// future epoch are stashed until this rank enters it.
+func (rc *Context) dispatch(m comm.Message) {
+	if id := msgEpoch(m); id != 0 && (!rc.inEpoch || id != rc.epochSeq) {
+		if id <= rc.epochSeq {
+			panic(fmt.Sprintf("amt: rank %d got message for finished epoch %d (now %d)",
+				rc.rank, id, rc.epochSeq))
+		}
+		rc.pending[id] = append(rc.pending[id], m)
+		return
+	}
+	switch m.Kind {
+	case kindUser:
+		env := m.Data.(envelope)
+		rc.countReceive(env.EpochID)
+		rc.rt.handlers[HandlerID(m.Handler)](rc, core.Rank(m.From), env.Data)
+	case kindObject:
+		rc.dispatchObject(m)
+	case kindMigrate:
+		rc.installMigration(m)
+	case kindLocUpdate:
+		env := m.Data.(locEnvelope)
+		rc.countReceive(env.EpochID)
+		rc.location[env.Obj] = env.Loc
+	case kindToken:
+		env := m.Data.(tokenEnvelope)
+		rc.stashableToken(env, m)
+	case kindDone:
+		id := m.Data.(int64)
+		if !rc.inEpoch || id != rc.epochSeq {
+			rc.pending[id] = append(rc.pending[id], m)
+			return
+		}
+		rc.epochDone = true
+	case kindBarrier:
+		rc.onBarrierArrive(m)
+	case kindRelease:
+		rc.barReleased[m.Data.(int64)] = true
+	case kindReduce:
+		rc.onReduceArrive(m)
+	case kindReduceResult:
+		rr := m.Data.(reduceResult)
+		rc.redResult[rr.Seq] = rr.Value
+		rc.redHasResult[rr.Seq] = true
+	case kindGather:
+		rc.onGatherArrive(m)
+	case kindGatherResult:
+		gr := m.Data.(gatherResult)
+		rc.gatherResult[gr.Seq] = gr.Values
+	default:
+		panic(fmt.Sprintf("amt: unknown message kind %d", m.Kind))
+	}
+}
+
+func (rc *Context) stashableToken(env tokenEnvelope, m comm.Message) {
+	if !rc.inEpoch || env.EpochID != rc.epochSeq {
+		if env.EpochID <= rc.epochSeq {
+			panic("amt: token for finished epoch")
+		}
+		rc.pending[env.EpochID] = append(rc.pending[env.EpochID], m)
+		return
+	}
+	rc.detector(env.EpochID).OnToken(env.Token)
+}
+
+func (rc *Context) countReceive(epochID int64) {
+	if epochID != 0 {
+		rc.detector(epochID).OnReceive()
+	}
+}

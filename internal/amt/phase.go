@@ -1,0 +1,72 @@
+package amt
+
+import "fmt"
+
+// phaseState is the per-rank instrumentation of the current application
+// phase (§III-B): observed work per local object. The principle of
+// persistence lets the balancers use these observations as predictors
+// for the next phase.
+type phaseState struct {
+	active bool
+	loads  map[ObjectID]float64
+}
+
+// PhaseStats is the instrumentation gathered over one phase on one rank.
+type PhaseStats struct {
+	// Loads maps each object that did work this phase to its observed
+	// (virtual) load.
+	Loads map[ObjectID]float64
+	// Total is the rank's summed task load for the phase — l^p.
+	Total float64
+}
+
+// MaxTaskLoad returns the largest single object load of the phase.
+func (ps PhaseStats) MaxTaskLoad() float64 {
+	max := 0.0
+	for _, l := range ps.Loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// PhaseBegin opens an instrumentation window. Phases must not nest.
+func (rc *Context) PhaseBegin() {
+	if rc.phase.active {
+		panic("amt: PhaseBegin inside an open phase")
+	}
+	rc.phase.active = true
+	rc.phase.loads = make(map[ObjectID]float64)
+}
+
+// RecordWork attributes load to a local object during the open phase.
+// The load is virtual time: applications declare the cost of the task
+// execution they just performed, which keeps runs deterministic. An
+// object must be local — work happens where the object lives.
+func (rc *Context) RecordWork(id ObjectID, load float64) {
+	if !rc.phase.active {
+		panic("amt: RecordWork outside a phase")
+	}
+	if load < 0 {
+		panic(fmt.Sprintf("amt: RecordWork with negative load %g", load))
+	}
+	if _, ok := rc.objects[id]; !ok {
+		panic(fmt.Sprintf("amt: RecordWork on non-local object %v", id))
+	}
+	rc.phase.loads[id] += load
+}
+
+// PhaseEnd closes the window and returns the observations.
+func (rc *Context) PhaseEnd() PhaseStats {
+	if !rc.phase.active {
+		panic("amt: PhaseEnd without PhaseBegin")
+	}
+	rc.phase.active = false
+	st := PhaseStats{Loads: rc.phase.loads}
+	for _, l := range st.Loads {
+		st.Total += l
+	}
+	rc.phase.loads = nil
+	return st
+}

@@ -1,0 +1,55 @@
+package amt
+
+import "fmt"
+
+// LoadModel turns phase observations into next-phase load predictions
+// under the principle of persistence (§III-B): computation in previous
+// phases predicts computation in future phases. The model smooths
+// observations exponentially — Alpha = 1 is pure persistence (last
+// observation wins), smaller Alpha averages over more history, damping
+// phase-to-phase noise at the cost of lagging genuine drift.
+type LoadModel struct {
+	alpha float64
+	pred  map[ObjectID]float64
+}
+
+// NewLoadModel creates a model with smoothing factor alpha in (0, 1].
+func NewLoadModel(alpha float64) *LoadModel {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("amt: NewLoadModel alpha %g out of (0,1]", alpha))
+	}
+	return &LoadModel{alpha: alpha, pred: make(map[ObjectID]float64)}
+}
+
+// Observe folds one phase's instrumentation into the predictions.
+// Objects never seen before start at their observed load.
+func (m *LoadModel) Observe(stats PhaseStats) {
+	for id, load := range stats.Loads {
+		if old, ok := m.pred[id]; ok {
+			m.pred[id] = m.alpha*load + (1-m.alpha)*old
+		} else {
+			m.pred[id] = load
+		}
+	}
+}
+
+// Predict returns the expected next-phase load of an object (0 when the
+// object has never been observed).
+func (m *LoadModel) Predict(id ObjectID) float64 { return m.pred[id] }
+
+// Predictions snapshots all current predictions — the loads map handed
+// to the distributed balancer.
+func (m *LoadModel) Predictions() map[ObjectID]float64 {
+	out := make(map[ObjectID]float64, len(m.pred))
+	for id, l := range m.pred {
+		out[id] = l
+	}
+	return out
+}
+
+// Forget drops an object (e.g. one migrated away); the receiving rank
+// starts fresh from its own observations.
+func (m *LoadModel) Forget(id ObjectID) { delete(m.pred, id) }
+
+// Len returns the number of tracked objects.
+func (m *LoadModel) Len() int { return len(m.pred) }

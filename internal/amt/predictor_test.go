@@ -1,0 +1,111 @@
+package amt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func obsOf(id ObjectID, load float64) PhaseStats {
+	return PhaseStats{Loads: map[ObjectID]float64{id: load}, Total: load}
+}
+
+func TestLoadModelPurePersistence(t *testing.T) {
+	m := NewLoadModel(1)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 3))
+	m.Observe(obsOf(id, 7))
+	if got := m.Predict(id); got != 7 {
+		t.Errorf("persistence Predict = %g, want 7", got)
+	}
+}
+
+func TestLoadModelSmoothing(t *testing.T) {
+	m := NewLoadModel(0.5)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 4))
+	m.Observe(obsOf(id, 8))
+	// 0.5*8 + 0.5*4 = 6.
+	if got := m.Predict(id); got != 6 {
+		t.Errorf("smoothed Predict = %g, want 6", got)
+	}
+}
+
+func TestLoadModelConvergesToConstant(t *testing.T) {
+	m := NewLoadModel(0.3)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 0))
+	for i := 0; i < 60; i++ {
+		m.Observe(obsOf(id, 5))
+	}
+	if got := m.Predict(id); math.Abs(got-5) > 1e-6 {
+		t.Errorf("did not converge: %g", got)
+	}
+}
+
+func TestLoadModelSmoothingReducesNoiseVariance(t *testing.T) {
+	// Noisy loads around a constant mean: the smoothed prediction's
+	// error variance must undercut pure persistence's.
+	rng := rand.New(rand.NewSource(1))
+	persist := NewLoadModel(1)
+	smooth := NewLoadModel(0.2)
+	id := MakeObjectID(0, 1)
+	const mean = 10.0
+	varP, varS := 0.0, 0.0
+	n := 0
+	for i := 0; i < 500; i++ {
+		load := mean + rng.NormFloat64()
+		persist.Observe(obsOf(id, load))
+		smooth.Observe(obsOf(id, load))
+		if i > 50 { // after warmup
+			dp := persist.Predict(id) - mean
+			ds := smooth.Predict(id) - mean
+			varP += dp * dp
+			varS += ds * ds
+			n++
+		}
+	}
+	if varS >= varP {
+		t.Errorf("smoothing variance %g >= persistence %g", varS/float64(n), varP/float64(n))
+	}
+}
+
+func TestLoadModelUnknownAndForget(t *testing.T) {
+	m := NewLoadModel(0.5)
+	id := MakeObjectID(0, 1)
+	if m.Predict(id) != 0 {
+		t.Error("unknown object should predict 0")
+	}
+	m.Observe(obsOf(id, 2))
+	if m.Len() != 1 {
+		t.Error("Len wrong")
+	}
+	m.Forget(id)
+	if m.Predict(id) != 0 || m.Len() != 0 {
+		t.Error("Forget did not drop the object")
+	}
+}
+
+func TestLoadModelPredictionsSnapshot(t *testing.T) {
+	m := NewLoadModel(1)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 2))
+	snap := m.Predictions()
+	m.Observe(obsOf(id, 9))
+	if snap[id] != 2 {
+		t.Error("snapshot aliased live state")
+	}
+}
+
+func TestLoadModelBadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %g accepted", a)
+				}
+			}()
+			NewLoadModel(a)
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+// Package amt is the asynchronous many-task runtime substrate — the
+// stand-in for the paper's DARMA/vt tasking library (§III). It provides
+// logical ranks driven by one goroutine each, active messages with
+// registered handlers, epochs terminated by distributed termination
+// detection (Safra's algorithm over the same transport), rank
+// collectives (barrier, all-reduce), migratable objects with a
+// forwarding location manager, and per-phase task instrumentation
+// feeding the load balancers.
+//
+// The programming model is SPMD-with-tasks: Runtime.Run starts one
+// goroutine per rank executing the supplied main function; inside it,
+// ranks exchange active messages and call collectives in matching order.
+// Each rank's handlers run only on that rank's goroutine, so handler
+// state needs no locking — the same single-scheduler-per-rank discipline
+// vt uses.
+package amt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"temperedlb/internal/comm"
+	"temperedlb/internal/core"
+)
+
+// HandlerID names a registered active-message handler.
+type HandlerID int32
+
+// Handler is a rank-level active-message handler. It runs on the
+// destination rank's goroutine.
+type Handler func(rc *Context, from core.Rank, data any)
+
+// ObjectHandler is an object-level active-message handler: it receives
+// the target object's state. It runs on the rank currently owning the
+// object.
+type ObjectHandler func(rc *Context, obj ObjectID, state any, from core.Rank, data any)
+
+// Runtime owns the transport and the handler registries shared by all
+// ranks. Register all handlers before calling Run.
+type Runtime struct {
+	n           int
+	nw          *comm.Network
+	handlers    map[HandlerID]Handler
+	objHandlers map[HandlerID]ObjectHandler
+	running     bool
+}
+
+// New creates a runtime over n logical ranks.
+func New(n int) *Runtime {
+	if n < 1 {
+		panic(fmt.Sprintf("amt: New: n must be >= 1, got %d", n))
+	}
+	return &Runtime{
+		n:           n,
+		nw:          comm.NewNetwork(n),
+		handlers:    make(map[HandlerID]Handler),
+		objHandlers: make(map[HandlerID]ObjectHandler),
+	}
+}
+
+// NumRanks returns the number of logical ranks.
+func (rt *Runtime) NumRanks() int { return rt.n }
+
+// Register installs a rank-level handler. It must be called before Run.
+func (rt *Runtime) Register(id HandlerID, h Handler) {
+	rt.mustNotRun("Register")
+	if _, dup := rt.handlers[id]; dup {
+		panic(fmt.Sprintf("amt: duplicate handler %d", id))
+	}
+	rt.handlers[id] = h
+}
+
+// RegisterObject installs an object-level handler. It must be called
+// before Run.
+func (rt *Runtime) RegisterObject(id HandlerID, h ObjectHandler) {
+	rt.mustNotRun("RegisterObject")
+	if _, dup := rt.objHandlers[id]; dup {
+		panic(fmt.Sprintf("amt: duplicate object handler %d", id))
+	}
+	rt.objHandlers[id] = h
+}
+
+func (rt *Runtime) mustNotRun(op string) {
+	if rt.running {
+		panic("amt: " + op + " after Run")
+	}
+}
+
+// Run executes main once per rank, each on its own goroutine, and
+// returns when every rank's main has returned. A panic on any rank is
+// re-raised on the caller after all other ranks are released.
+func (rt *Runtime) Run(main func(rc *Context)) {
+	rt.running = true
+	var wg sync.WaitGroup
+	panics := make([]any, rt.n)
+	for r := 0; r < rt.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					rt.nw.Close() // release ranks blocked in RecvWait
+				}
+			}()
+			main(newContext(rt, core.Rank(rank)))
+		}(r)
+	}
+	wg.Wait()
+	rt.nw.Close()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("amt: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// TotalMessages returns the number of transport messages sent so far
+// (including control traffic).
+func (rt *Runtime) TotalMessages() int64 { return rt.nw.TotalSent() }
+
+// SetJitter delays every message delivery by a random duration up to
+// max, deliberately breaking delivery ordering — a chaos-testing aid
+// proving the epoch/termination/location protocols tolerate arbitrary
+// interleavings. Call before Run.
+func (rt *Runtime) SetJitter(max time.Duration) {
+	rt.mustNotRun("SetJitter")
+	rt.nw.SetJitter(max)
+}

@@ -1,0 +1,212 @@
+// Package comm provides the in-memory message transport underneath the
+// AMT runtime: per-rank unbounded inboxes with blocking and non-blocking
+// receive, per-sender FIFO ordering, and optional payload byte
+// accounting. It substitutes for the MPI layer of the paper's vt runtime;
+// everything above it (active messages, epochs, termination detection,
+// collectives) is implemented for real on top of this transport.
+package comm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates message classes at the transport level so the
+// runtime can route control traffic (termination tokens, collectives)
+// separately from user/epoch traffic.
+type Kind int32
+
+// Message is one active-message envelope.
+type Message struct {
+	From, To int
+	Kind     Kind
+	Handler  int32 // runtime handler id, meaningful for user kinds
+	Seq      int64 // per-sender sequence number, set by Send
+	Data     any
+}
+
+// Network connects n ranks with reliable, per-sender-FIFO, asynchronous
+// delivery. Sends never block (inboxes are unbounded); receives may.
+type Network struct {
+	n       int
+	inboxes []*inbox
+	sent    atomic.Int64
+	seq     []atomic.Int64
+	closed  atomic.Bool
+	jitter  time.Duration
+	jrng    atomic.Uint64
+}
+
+// NewNetwork creates a network of n ranks.
+func NewNetwork(n int) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("comm: NewNetwork: n must be >= 1, got %d", n))
+	}
+	nw := &Network{
+		n:       n,
+		inboxes: make([]*inbox, n),
+		seq:     make([]atomic.Int64, n),
+	}
+	for i := range nw.inboxes {
+		nw.inboxes[i] = newInbox()
+	}
+	return nw
+}
+
+// SetJitter makes every delivery wait a uniformly random duration up to
+// max before landing in the destination inbox, modeling network latency
+// variance. Per-sender FIFO is intentionally NOT preserved under jitter
+// — the point is to stress ordering assumptions (the runtime's
+// termination detection and location forwarding must tolerate arbitrary
+// interleavings). Set before any traffic flows; zero disables.
+func (nw *Network) SetJitter(max time.Duration) {
+	nw.jitter = max
+	nw.jrng.Store(0x9e3779b97f4a7c15)
+}
+
+// NumRanks returns the number of ranks.
+func (nw *Network) NumRanks() int { return nw.n }
+
+// Send enqueues the message to its destination inbox. It never blocks.
+// Sending on a closed network panics: it indicates a runtime shutdown
+// ordering bug.
+func (nw *Network) Send(m Message) {
+	if m.To < 0 || m.To >= nw.n {
+		panic(fmt.Sprintf("comm: Send to rank %d out of [0,%d)", m.To, nw.n))
+	}
+	if nw.closed.Load() {
+		panic("comm: Send on closed network")
+	}
+	m.Seq = nw.seq[m.From].Add(1)
+	nw.sent.Add(1)
+	if nw.jitter > 0 {
+		// xorshift over an atomic word keeps the delay stream cheap and
+		// lock-free across concurrent senders.
+		x := nw.jrng.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		delay := time.Duration(x % uint64(nw.jitter))
+		go func() {
+			time.Sleep(delay)
+			nw.inboxes[m.To].push(m)
+		}()
+		return
+	}
+	nw.inboxes[m.To].push(m)
+}
+
+// TotalSent returns the number of messages sent on the network so far.
+func (nw *Network) TotalSent() int64 { return nw.sent.Load() }
+
+// Recv pops the next message for rank without blocking; ok is false when
+// the inbox is empty.
+func (nw *Network) Recv(rank int) (Message, bool) {
+	return nw.inboxes[rank].pop()
+}
+
+// RecvWait pops the next message for rank, blocking until one arrives or
+// the network is closed (ok=false).
+func (nw *Network) RecvWait(rank int) (Message, bool) {
+	return nw.inboxes[rank].popWait()
+}
+
+// Pending returns the number of queued messages for rank.
+func (nw *Network) Pending(rank int) int {
+	return nw.inboxes[rank].len()
+}
+
+// Close wakes all blocked receivers; subsequent RecvWait calls drain
+// remaining messages and then report ok=false.
+func (nw *Network) Close() {
+	nw.closed.Store(true)
+	for _, ib := range nw.inboxes {
+		ib.close()
+	}
+}
+
+// inbox is an unbounded MPSC queue with blocking pop.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	head   int
+	closed bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(m Message) {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, m)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+func (ib *inbox) pop() (Message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.popLocked()
+}
+
+func (ib *inbox) popWait() (Message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if m, ok := ib.popLocked(); ok {
+			return m, true
+		}
+		if ib.closed {
+			return Message{}, false
+		}
+		ib.cond.Wait()
+	}
+}
+
+func (ib *inbox) popLocked() (Message, bool) {
+	if ib.head >= len(ib.queue) {
+		return Message{}, false
+	}
+	m := ib.queue[ib.head]
+	ib.queue[ib.head] = Message{} // release references
+	ib.head++
+	// Compact once the dead prefix dominates.
+	if ib.head > 64 && ib.head*2 >= len(ib.queue) {
+		n := copy(ib.queue, ib.queue[ib.head:])
+		ib.queue = ib.queue[:n]
+		ib.head = 0
+	}
+	return m, true
+}
+
+func (ib *inbox) len() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.queue) - ib.head
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// MeasureBytes gob-encodes v and returns the wire size, the byte
+// accounting used for migration-volume statistics. Types must be
+// gob-encodable; errors report a size of 0.
+func MeasureBytes(v any) int {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0
+	}
+	return buf.Len()
+}

@@ -1,0 +1,240 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.Send(Message{From: 0, To: 1, Kind: 7, Data: "hello"})
+	m, ok := nw.Recv(1)
+	if !ok {
+		t.Fatal("no message")
+	}
+	if m.From != 0 || m.Kind != 7 || m.Data != "hello" {
+		t.Errorf("message mangled: %+v", m)
+	}
+	if _, ok := nw.Recv(1); ok {
+		t.Error("spurious second message")
+	}
+}
+
+func TestRecvEmptyNonBlocking(t *testing.T) {
+	nw := NewNetwork(1)
+	if _, ok := nw.Recv(0); ok {
+		t.Error("Recv on empty inbox returned a message")
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	nw := NewNetwork(2)
+	for i := 0; i < 100; i++ {
+		nw.Send(Message{From: 0, To: 1, Data: i})
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := nw.Recv(1)
+		if !ok || m.Data != i {
+			t.Fatalf("out of order at %d: %+v", i, m)
+		}
+	}
+}
+
+func TestSeqAssigned(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.Send(Message{From: 0, To: 1})
+	nw.Send(Message{From: 0, To: 1})
+	m1, _ := nw.Recv(1)
+	m2, _ := nw.Recv(1)
+	if m1.Seq >= m2.Seq {
+		t.Errorf("sequence numbers not increasing: %d %d", m1.Seq, m2.Seq)
+	}
+}
+
+func TestRecvWaitBlocksUntilSend(t *testing.T) {
+	nw := NewNetwork(2)
+	done := make(chan Message)
+	go func() {
+		m, _ := nw.RecvWait(1)
+		done <- m
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("RecvWait returned before send")
+	default:
+	}
+	nw.Send(Message{From: 0, To: 1, Data: 42})
+	m := <-done
+	if m.Data != 42 {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestRecvWaitWakesOnClose(t *testing.T) {
+	nw := NewNetwork(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := nw.RecvWait(0)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	nw.Close()
+	if ok := <-done; ok {
+		t.Error("RecvWait returned ok=true after close on empty inbox")
+	}
+}
+
+func TestCloseDrainsQueuedMessages(t *testing.T) {
+	nw := NewNetwork(1)
+	nw.Send(Message{From: 0, To: 0, Data: 1})
+	nw.Close()
+	if m, ok := nw.RecvWait(0); !ok || m.Data != 1 {
+		t.Error("queued message lost on close")
+	}
+	if _, ok := nw.RecvWait(0); ok {
+		t.Error("phantom message after drain")
+	}
+}
+
+func TestSendAfterClosePanics(t *testing.T) {
+	nw := NewNetwork(1)
+	nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 0})
+}
+
+func TestSendBadRankPanics(t *testing.T) {
+	nw := NewNetwork(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 5})
+}
+
+func TestNewNetworkValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNetwork(0)
+}
+
+func TestPendingAndTotalSent(t *testing.T) {
+	nw := NewNetwork(2)
+	if nw.Pending(1) != 0 {
+		t.Error("pending nonzero at start")
+	}
+	nw.Send(Message{From: 0, To: 1})
+	nw.Send(Message{From: 0, To: 1})
+	if nw.Pending(1) != 2 {
+		t.Errorf("Pending = %d", nw.Pending(1))
+	}
+	if nw.TotalSent() != 2 {
+		t.Errorf("TotalSent = %d", nw.TotalSent())
+	}
+	nw.Recv(1)
+	if nw.Pending(1) != 1 {
+		t.Errorf("Pending after recv = %d", nw.Pending(1))
+	}
+}
+
+func TestConcurrentSendersNoLoss(t *testing.T) {
+	nw := NewNetwork(8)
+	const perSender, senders = 500, 7
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				nw.Send(Message{From: from, To: 0, Data: i})
+			}
+		}(s)
+	}
+	received := make(chan int)
+	go func() {
+		count := 0
+		lastPerSender := make(map[int]int)
+		for count < perSender*senders {
+			m, ok := nw.RecvWait(0)
+			if !ok {
+				break
+			}
+			// Per-sender FIFO must hold even under concurrency.
+			if prev, seen := lastPerSender[m.From]; seen && m.Data.(int) != prev+1 {
+				t.Errorf("sender %d out of order: %d after %d", m.From, m.Data, prev)
+			}
+			lastPerSender[m.From] = m.Data.(int)
+			count++
+		}
+		received <- count
+	}()
+	wg.Wait()
+	if got := <-received; got != perSender*senders {
+		t.Errorf("received %d of %d", got, perSender*senders)
+	}
+}
+
+func TestInboxCompaction(t *testing.T) {
+	// Push and pop enough to trigger the compaction path repeatedly.
+	nw := NewNetwork(1)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 200; i++ {
+			nw.Send(Message{From: 0, To: 0, Data: round*200 + i})
+		}
+		for i := 0; i < 200; i++ {
+			m, ok := nw.Recv(0)
+			if !ok || m.Data != round*200+i {
+				t.Fatalf("compaction corrupted order at %d/%d: %+v", round, i, m)
+			}
+		}
+	}
+}
+
+func TestMeasureBytes(t *testing.T) {
+	if n := MeasureBytes([]float64{1, 2, 3}); n <= 0 {
+		t.Errorf("MeasureBytes = %d", n)
+	}
+	small := MeasureBytes([]byte{1})
+	big := MeasureBytes(make([]byte, 10000))
+	if big <= small {
+		t.Errorf("sizes not monotone: %d vs %d", small, big)
+	}
+	// Unencodable values report 0.
+	if n := MeasureBytes(func() {}); n != 0 {
+		t.Errorf("MeasureBytes(func) = %d", n)
+	}
+}
+
+func TestJitterDeliversEverything(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.SetJitter(2 * time.Millisecond)
+	const n = 300
+	for i := 0; i < n; i++ {
+		nw.Send(Message{From: 0, To: 1, Data: i})
+	}
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		m, ok := nw.RecvWait(1)
+		if !ok {
+			t.Fatal("network closed early")
+		}
+		v := m.Data.(int)
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := nw.Recv(1); ok {
+		t.Error("phantom extra message")
+	}
+}

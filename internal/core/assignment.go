@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rank identifies a logical process (an MPI-rank equivalent).
+type Rank int32
+
+// TaskID identifies a migratable task (a mesh "color" in EMPIRE terms).
+// IDs are dense indices assigned by the Assignment that created the task.
+type TaskID int32
+
+// Task pairs a task with its instrumented load (seconds of work measured
+// in the previous phase, per the principle of persistence, §III-B).
+type Task struct {
+	ID   TaskID
+	Load float64
+}
+
+// Assignment tracks which rank owns each task and the per-rank load
+// totals. It is the mutable object/rank distribution D of the paper's
+// analysis. The zero value is unusable; construct with NewAssignment.
+type Assignment struct {
+	numRanks  int
+	loads     []float64 // per task
+	owner     []Rank    // per task
+	rankTasks [][]TaskID
+	pos       []int32 // index of task within its owner's list
+	rankLoad  []float64
+	totalLoad float64
+}
+
+// NewAssignment creates an empty assignment over numRanks ranks.
+func NewAssignment(numRanks int) *Assignment {
+	if numRanks < 1 {
+		panic(fmt.Sprintf("core: NewAssignment: numRanks must be >= 1, got %d", numRanks))
+	}
+	return &Assignment{
+		numRanks:  numRanks,
+		rankTasks: make([][]TaskID, numRanks),
+		rankLoad:  make([]float64, numRanks),
+	}
+}
+
+// Add creates a new task with the given load on rank r and returns its ID.
+// Loads must be non-negative.
+func (a *Assignment) Add(load float64, r Rank) TaskID {
+	if load < 0 || math.IsNaN(load) {
+		panic(fmt.Sprintf("core: Add: invalid load %g", load))
+	}
+	a.checkRank(r)
+	id := TaskID(len(a.loads))
+	a.loads = append(a.loads, load)
+	a.owner = append(a.owner, r)
+	a.pos = append(a.pos, int32(len(a.rankTasks[r])))
+	a.rankTasks[r] = append(a.rankTasks[r], id)
+	a.rankLoad[r] += load
+	a.totalLoad += load
+	return id
+}
+
+// Move transfers task id to rank to, updating both ranks' loads.
+func (a *Assignment) Move(id TaskID, to Rank) {
+	a.checkTask(id)
+	a.checkRank(to)
+	from := a.owner[id]
+	if from == to {
+		return
+	}
+	// Swap-delete from the old owner's list.
+	list := a.rankTasks[from]
+	p := a.pos[id]
+	last := list[len(list)-1]
+	list[p] = last
+	a.pos[last] = p
+	a.rankTasks[from] = list[:len(list)-1]
+	// Append to the new owner's list.
+	a.pos[id] = int32(len(a.rankTasks[to]))
+	a.rankTasks[to] = append(a.rankTasks[to], id)
+	a.owner[id] = to
+	a.rankLoad[from] -= a.loads[id]
+	a.rankLoad[to] += a.loads[id]
+}
+
+// Owner returns the rank currently owning task id.
+func (a *Assignment) Owner(id TaskID) Rank {
+	a.checkTask(id)
+	return a.owner[id]
+}
+
+// Load returns the instrumented load of task id.
+func (a *Assignment) Load(id TaskID) float64 {
+	a.checkTask(id)
+	return a.loads[id]
+}
+
+// SetLoad replaces the load of task id (e.g. after a new phase's
+// instrumentation) and updates the owning rank's total.
+func (a *Assignment) SetLoad(id TaskID, load float64) {
+	a.checkTask(id)
+	if load < 0 || math.IsNaN(load) {
+		panic(fmt.Sprintf("core: SetLoad: invalid load %g", load))
+	}
+	r := a.owner[id]
+	a.rankLoad[r] += load - a.loads[id]
+	a.totalLoad += load - a.loads[id]
+	a.loads[id] = load
+}
+
+// RankLoad returns rank r's current total task load.
+func (a *Assignment) RankLoad(r Rank) float64 {
+	a.checkRank(r)
+	return a.rankLoad[r]
+}
+
+// RankLoads returns a copy of the per-rank load vector.
+func (a *Assignment) RankLoads() []float64 {
+	return append([]float64(nil), a.rankLoad...)
+}
+
+// TotalLoad returns the sum of all task loads.
+func (a *Assignment) TotalLoad() float64 { return a.totalLoad }
+
+// AveLoad returns the average per-rank load l_ave, a global constant of
+// any LB invocation since transfers conserve load.
+func (a *Assignment) AveLoad() float64 { return a.totalLoad / float64(a.numRanks) }
+
+// NumRanks returns the number of ranks.
+func (a *Assignment) NumRanks() int { return a.numRanks }
+
+// NumTasks returns the number of tasks.
+func (a *Assignment) NumTasks() int { return len(a.loads) }
+
+// TasksOf returns rank r's tasks sorted by ID ("identifying index
+// order"), the deterministic arbitrary order of Algorithm 2 line 41.
+func (a *Assignment) TasksOf(r Rank) []Task {
+	a.checkRank(r)
+	ids := a.rankTasks[r]
+	out := make([]Task, len(ids))
+	for i, id := range ids {
+		out[i] = Task{ID: id, Load: a.loads[id]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TaskCount returns the number of tasks on rank r without allocating.
+func (a *Assignment) TaskCount(r Rank) int {
+	a.checkRank(r)
+	return len(a.rankTasks[r])
+}
+
+// MaxTaskLoad returns the largest single task load (0 if no tasks), the
+// second term of the Fig. 4b lower bound.
+func (a *Assignment) MaxTaskLoad() float64 {
+	max := 0.0
+	for _, l := range a.loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Imbalance computes I = l_max/l_ave − 1 over the current rank loads.
+func (a *Assignment) Imbalance() float64 {
+	if a.totalLoad == 0 {
+		return 0
+	}
+	max := 0.0
+	for _, l := range a.rankLoad {
+		if l > max {
+			max = l
+		}
+	}
+	return max/a.AveLoad() - 1
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		numRanks:  a.numRanks,
+		loads:     append([]float64(nil), a.loads...),
+		owner:     append([]Rank(nil), a.owner...),
+		rankTasks: make([][]TaskID, a.numRanks),
+		pos:       append([]int32(nil), a.pos...),
+		rankLoad:  append([]float64(nil), a.rankLoad...),
+		totalLoad: a.totalLoad,
+	}
+	for r, list := range a.rankTasks {
+		c.rankTasks[r] = append([]TaskID(nil), list...)
+	}
+	return c
+}
+
+// Owners returns a copy of the task→rank owner vector, indexed by TaskID.
+func (a *Assignment) Owners() []Rank {
+	return append([]Rank(nil), a.owner...)
+}
+
+// Validate checks the internal invariants: every task appears in exactly
+// its owner's list at its recorded position, and per-rank loads match the
+// sums of their tasks' loads within floating-point tolerance.
+func (a *Assignment) Validate() error {
+	seen := 0
+	for r := range a.rankTasks {
+		sum := 0.0
+		for p, id := range a.rankTasks[r] {
+			if int(id) >= len(a.loads) {
+				return fmt.Errorf("core: rank %d lists unknown task %d", r, id)
+			}
+			if a.owner[id] != Rank(r) {
+				return fmt.Errorf("core: task %d in rank %d's list but owned by %d", id, r, a.owner[id])
+			}
+			if int(a.pos[id]) != p {
+				return fmt.Errorf("core: task %d position %d but recorded %d", id, p, a.pos[id])
+			}
+			sum += a.loads[id]
+			seen++
+		}
+		if math.Abs(sum-a.rankLoad[r]) > 1e-6*(1+math.Abs(sum)) {
+			return fmt.Errorf("core: rank %d load %g but tasks sum to %g", r, a.rankLoad[r], sum)
+		}
+	}
+	if seen != len(a.loads) {
+		return fmt.Errorf("core: %d tasks reachable from ranks, want %d", seen, len(a.loads))
+	}
+	return nil
+}
+
+func (a *Assignment) checkRank(r Rank) {
+	if r < 0 || int(r) >= a.numRanks {
+		panic(fmt.Sprintf("core: rank %d out of range [0,%d)", r, a.numRanks))
+	}
+}
+
+func (a *Assignment) checkTask(id TaskID) {
+	if id < 0 || int(id) >= len(a.loads) {
+		panic(fmt.Sprintf("core: task %d out of range [0,%d)", id, len(a.loads)))
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAssignmentAddAndQuery(t *testing.T) {
+	a := NewAssignment(4)
+	id0 := a.Add(2.0, 1)
+	id1 := a.Add(3.0, 1)
+	id2 := a.Add(1.5, 3)
+
+	if a.NumTasks() != 3 || a.NumRanks() != 4 {
+		t.Fatalf("counts: tasks=%d ranks=%d", a.NumTasks(), a.NumRanks())
+	}
+	if a.Owner(id0) != 1 || a.Owner(id2) != 3 {
+		t.Errorf("owners wrong: %d %d", a.Owner(id0), a.Owner(id2))
+	}
+	if a.Load(id1) != 3.0 {
+		t.Errorf("Load = %g", a.Load(id1))
+	}
+	if got := a.RankLoad(1); got != 5.0 {
+		t.Errorf("RankLoad(1) = %g, want 5", got)
+	}
+	if got := a.RankLoad(0); got != 0 {
+		t.Errorf("RankLoad(0) = %g, want 0", got)
+	}
+	if got := a.TotalLoad(); got != 6.5 {
+		t.Errorf("TotalLoad = %g, want 6.5", got)
+	}
+	if got := a.AveLoad(); got != 6.5/4 {
+		t.Errorf("AveLoad = %g", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAssignmentMove(t *testing.T) {
+	a := NewAssignment(3)
+	id := a.Add(2.0, 0)
+	other := a.Add(1.0, 0)
+	a.Move(id, 2)
+
+	if a.Owner(id) != 2 {
+		t.Errorf("Owner after move = %d", a.Owner(id))
+	}
+	if a.RankLoad(0) != 1.0 || a.RankLoad(2) != 2.0 {
+		t.Errorf("loads after move: %v", a.RankLoads())
+	}
+	if a.Owner(other) != 0 {
+		t.Errorf("unrelated task moved")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAssignmentMoveToSameRankIsNoop(t *testing.T) {
+	a := NewAssignment(2)
+	id := a.Add(1.0, 1)
+	a.Move(id, 1)
+	if a.Owner(id) != 1 || a.RankLoad(1) != 1.0 {
+		t.Error("self-move changed state")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentSetLoad(t *testing.T) {
+	a := NewAssignment(2)
+	id := a.Add(1.0, 0)
+	a.Add(2.0, 0)
+	a.SetLoad(id, 4.0)
+	if a.Load(id) != 4.0 {
+		t.Errorf("Load = %g", a.Load(id))
+	}
+	if a.RankLoad(0) != 6.0 || a.TotalLoad() != 6.0 {
+		t.Errorf("loads after SetLoad: rank=%g total=%g", a.RankLoad(0), a.TotalLoad())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentTasksOfSortedByID(t *testing.T) {
+	a := NewAssignment(2)
+	ids := []TaskID{a.Add(1, 0), a.Add(2, 0), a.Add(3, 0)}
+	a.Move(ids[0], 1)
+	a.Move(ids[0], 0) // returns at the end of the slice internally
+	ts := a.TasksOf(0)
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].ID >= ts[i].ID {
+			t.Fatalf("TasksOf not sorted: %v", ts)
+		}
+	}
+	if len(ts) != 3 {
+		t.Fatalf("TasksOf len = %d", len(ts))
+	}
+}
+
+func TestAssignmentImbalance(t *testing.T) {
+	a := NewAssignment(4)
+	a.Add(4, 0) // loads: 4,0,0,0 -> ave 1, I = 3
+	if got := a.Imbalance(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Imbalance = %g, want 3", got)
+	}
+}
+
+func TestAssignmentImbalanceEmptyIsZero(t *testing.T) {
+	a := NewAssignment(4)
+	if got := a.Imbalance(); got != 0 {
+		t.Errorf("Imbalance(empty) = %g", got)
+	}
+}
+
+func TestAssignmentCloneIsDeep(t *testing.T) {
+	a := NewAssignment(3)
+	id := a.Add(1.0, 0)
+	c := a.Clone()
+	c.Move(id, 2)
+	if a.Owner(id) != 0 {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.Owner(id) != 2 {
+		t.Error("clone did not record move")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentMaxTaskLoad(t *testing.T) {
+	a := NewAssignment(2)
+	if a.MaxTaskLoad() != 0 {
+		t.Error("MaxTaskLoad of empty != 0")
+	}
+	a.Add(1, 0)
+	a.Add(5, 1)
+	a.Add(2, 0)
+	if a.MaxTaskLoad() != 5 {
+		t.Errorf("MaxTaskLoad = %g", a.MaxTaskLoad())
+	}
+}
+
+func TestAssignmentOwnersSnapshot(t *testing.T) {
+	a := NewAssignment(2)
+	id := a.Add(1, 0)
+	owners := a.Owners()
+	a.Move(id, 1)
+	if owners[id] != 0 {
+		t.Error("Owners snapshot aliased live state")
+	}
+}
+
+func TestAssignmentPanicsOnBadInput(t *testing.T) {
+	a := NewAssignment(2)
+	mustPanic(t, "negative load", func() { a.Add(-1, 0) })
+	mustPanic(t, "NaN load", func() { a.Add(math.NaN(), 0) })
+	mustPanic(t, "bad rank", func() { a.Add(1, 5) })
+	mustPanic(t, "bad task", func() { a.Owner(99) })
+	mustPanic(t, "bad ranks", func() { NewAssignment(0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestAssignmentRandomOpsInvariant drives random Add/Move/SetLoad
+// operations and validates the structural invariants plus exact load
+// conservation throughout.
+func TestAssignmentRandomOpsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := NewAssignment(8)
+	var ids []TaskID
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ids) == 0:
+			ids = append(ids, a.Add(rng.Float64()*5, Rank(rng.Intn(8))))
+		case op == 1:
+			a.Move(ids[rng.Intn(len(ids))], Rank(rng.Intn(8)))
+		default:
+			a.SetLoad(ids[rng.Intn(len(ids))], rng.Float64()*5)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invariants violated after random ops: %v", err)
+	}
+	// Total load must equal the per-rank sum.
+	sum := 0.0
+	for _, l := range a.RankLoads() {
+		sum += l
+	}
+	if math.Abs(sum-a.TotalLoad()) > 1e-6 {
+		t.Errorf("total load drifted: ranks sum %g vs total %g", sum, a.TotalLoad())
+	}
+}

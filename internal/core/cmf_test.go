@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func knowledgeFrom(t *testing.T, entries ...RankLoad) *Knowledge {
+	t.Helper()
+	max := Rank(0)
+	for _, e := range entries {
+		if e.Rank > max {
+			max = e.Rank
+		}
+	}
+	k := NewKnowledge(int(max) + 2)
+	for _, e := range entries {
+		k.Add(e.Rank, e.Load)
+	}
+	return k
+}
+
+func TestBuildCMFOriginalWeights(t *testing.T) {
+	// ave = 4; loads 0 and 2 -> masses (1-0/4)=1 and (1-2/4)=0.5,
+	// normalized to 2/3 and 1/3.
+	k := knowledgeFrom(t, RankLoad{0, 0}, RankLoad{1, 2})
+	cmf, ok := BuildCMF(k, 5, 4, CMFOriginal)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	if cmf.Len() != 2 {
+		t.Fatalf("Len = %d", cmf.Len())
+	}
+	if got := cmf.Prob(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Prob(0) = %g, want 2/3", got)
+	}
+	if got := cmf.Prob(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Prob(1) = %g, want 1/3", got)
+	}
+}
+
+func TestBuildCMFOriginalClampsOverloaded(t *testing.T) {
+	// A known rank above the average gets zero probability, not negative.
+	k := knowledgeFrom(t, RankLoad{0, 10}, RankLoad{1, 1})
+	cmf, ok := BuildCMF(k, 5, 4, CMFOriginal)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	if got := cmf.Prob(0); got != 0 {
+		t.Errorf("overloaded rank prob = %g, want 0", got)
+	}
+	if got := cmf.Prob(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("remaining prob = %g, want 1", got)
+	}
+}
+
+func TestBuildCMFModifiedUsesMaxLoad(t *testing.T) {
+	// ave = 2 but max known load is 6 -> l_s = 6;
+	// masses (1-0/6)=1, (1-6/6)=0 -> probs 1, 0.
+	k := knowledgeFrom(t, RankLoad{0, 0}, RankLoad{1, 6})
+	cmf, ok := BuildCMF(k, 5, 2, CMFModified)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	if got := cmf.Prob(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Prob(0) = %g, want 1", got)
+	}
+	if got := cmf.Prob(1); got != 0 {
+		t.Errorf("Prob(1) = %g, want 0", got)
+	}
+}
+
+func TestBuildCMFExcludesSelf(t *testing.T) {
+	k := knowledgeFrom(t, RankLoad{0, 0}, RankLoad{1, 0})
+	cmf, ok := BuildCMF(k, 0, 4, CMFOriginal)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	if cmf.Len() != 1 || cmf.Rank(0) != 1 {
+		t.Errorf("self not excluded: len=%d", cmf.Len())
+	}
+}
+
+func TestBuildCMFNoMass(t *testing.T) {
+	// Everything at or above the normalization level: no candidates.
+	k := knowledgeFrom(t, RankLoad{0, 4}, RankLoad{1, 5})
+	if _, ok := BuildCMF(k, 9, 4, CMFOriginal); ok {
+		t.Error("expected ok=false for zero total mass")
+	}
+}
+
+func TestBuildCMFModifiedNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		k := NewKnowledge(n + 1)
+		for r := 0; r < n; r++ {
+			k.Add(Rank(r), rng.Float64()*10)
+		}
+		ave := rng.Float64() * 5
+		cmf, ok := BuildCMF(k, Rank(n), ave, CMFModified)
+		if !ok {
+			// Legal only when every load equals the max and exceeds ave,
+			// collapsing all mass; skip.
+			continue
+		}
+		prev := 0.0
+		for i := 0; i < cmf.Len(); i++ {
+			if p := cmf.Prob(i); p < 0 {
+				t.Fatalf("negative probability %g", p)
+			}
+			if cmf.cum[i] < prev {
+				t.Fatalf("non-monotone cum at %d", i)
+			}
+			prev = cmf.cum[i]
+		}
+		if math.Abs(cmf.cum[cmf.Len()-1]-1) > 1e-12 {
+			t.Fatalf("cum does not end at 1: %g", cmf.cum[cmf.Len()-1])
+		}
+	}
+}
+
+func TestCMFSampleRespectsZeroMass(t *testing.T) {
+	k := knowledgeFrom(t, RankLoad{0, 4}, RankLoad{1, 0}, RankLoad{2, 4})
+	cmf, ok := BuildCMF(k, 9, 4, CMFOriginal)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if got := cmf.Sample(rng); got != 1 {
+			t.Fatalf("sampled zero-mass rank %d", got)
+		}
+	}
+}
+
+func TestCMFSampleDistribution(t *testing.T) {
+	// probs 2/3 and 1/3: empirical frequencies must be near.
+	k := knowledgeFrom(t, RankLoad{0, 0}, RankLoad{1, 2})
+	cmf, _ := BuildCMF(k, 9, 4, CMFOriginal)
+	rng := rand.New(rand.NewSource(2))
+	const n = 30000
+	count := 0
+	for i := 0; i < n; i++ {
+		if cmf.Sample(rng) == 0 {
+			count++
+		}
+	}
+	freq := float64(count) / n
+	if math.Abs(freq-2.0/3) > 0.02 {
+		t.Errorf("empirical freq %g, want ~0.667", freq)
+	}
+}
+
+func TestCMFSampleAlwaysKnownRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		k := NewKnowledge(n)
+		for r := 0; r < n-1; r++ {
+			k.Add(Rank(r), rng.Float64())
+		}
+		cmf, ok := BuildCMF(k, Rank(n-1), 2, CMFModified)
+		if !ok {
+			continue
+		}
+		for i := 0; i < 50; i++ {
+			r := cmf.Sample(rng)
+			if !k.Contains(r) {
+				t.Fatalf("sampled unknown rank %d", r)
+			}
+			if r == Rank(n-1) {
+				t.Fatalf("sampled self")
+			}
+		}
+	}
+}

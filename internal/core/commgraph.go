@@ -1,0 +1,104 @@
+package core
+
+import "fmt"
+
+// CommEdge is one side of a symmetric communication relationship: the
+// task exchanges Volume units (e.g. bytes per phase) with Peer.
+type CommEdge struct {
+	Peer   TaskID
+	Volume float64
+}
+
+// CommGraph records inter-task communication volumes — the input to the
+// communication-aware extension the paper's §VII names as future work:
+// "our future work will consider inter-task communication costs in
+// addition to task load." Edges are undirected; volumes accumulate.
+type CommGraph struct {
+	adj [][]CommEdge
+}
+
+// NewCommGraph creates an empty graph over numTasks tasks.
+func NewCommGraph(numTasks int) *CommGraph {
+	return &CommGraph{adj: make([][]CommEdge, numTasks)}
+}
+
+// NumTasks returns the size of the task space.
+func (g *CommGraph) NumTasks() int { return len(g.adj) }
+
+// Connect records volume units of communication between tasks a and b.
+// Connecting a task to itself or with non-positive volume is ignored.
+func (g *CommGraph) Connect(a, b TaskID, volume float64) {
+	if a == b || volume <= 0 {
+		return
+	}
+	g.check(a)
+	g.check(b)
+	g.bump(a, b, volume)
+	g.bump(b, a, volume)
+}
+
+func (g *CommGraph) bump(from, to TaskID, volume float64) {
+	for i := range g.adj[from] {
+		if g.adj[from][i].Peer == to {
+			g.adj[from][i].Volume += volume
+			return
+		}
+	}
+	g.adj[from] = append(g.adj[from], CommEdge{Peer: to, Volume: volume})
+}
+
+// Edges returns the task's communication partners. The returned slice
+// is owned by the graph and must not be modified.
+func (g *CommGraph) Edges(t TaskID) []CommEdge {
+	g.check(t)
+	return g.adj[t]
+}
+
+// RemoteVolume totals the communication crossing rank boundaries under
+// the given task→rank owner vector (each undirected edge counted once).
+// It is the secondary objective the communication-aware mode reduces.
+func (g *CommGraph) RemoteVolume(owners []Rank) float64 {
+	if len(owners) < len(g.adj) {
+		panic(fmt.Sprintf("core: RemoteVolume: owner vector length %d < %d tasks", len(owners), len(g.adj)))
+	}
+	total := 0.0
+	for t, edges := range g.adj {
+		for _, e := range edges {
+			if e.Peer > TaskID(t) && owners[t] != owners[e.Peer] {
+				total += e.Volume
+			}
+		}
+	}
+	return total
+}
+
+// TotalVolume returns the sum of all edge volumes (each counted once).
+func (g *CommGraph) TotalVolume() float64 {
+	total := 0.0
+	for t, edges := range g.adj {
+		for _, e := range edges {
+			if e.Peer > TaskID(t) {
+				total += e.Volume
+			}
+		}
+	}
+	return total
+}
+
+// Affinity returns the communication volume between task t and each rank
+// under the owner snapshot — how much of t's traffic would become local
+// if t moved there. Ranks with no partner traffic are absent.
+func (g *CommGraph) Affinity(t TaskID, owners []Rank) map[Rank]float64 {
+	g.check(t)
+	out := make(map[Rank]float64)
+	for _, e := range g.adj[t] {
+		out[owners[e.Peer]] += e.Volume
+	}
+	return out
+}
+
+func (g *CommGraph) check(t TaskID) {
+	if t < 0 || int(t) >= len(g.adj) {
+		panic(fmt.Sprintf("core: task %d out of range [0,%d)", t, len(g.adj)))
+	}
+}

@@ -1,0 +1,22 @@
+// Package core implements the paper's primary contribution: the
+// TemperedLB family of fully distributed, gossip-based load balancing
+// algorithms, of which the original GrapevineLB (Menon & Kalé, SC'13) is
+// one configuration.
+//
+// The package provides:
+//
+//   - Task/Assignment bookkeeping for an overdecomposed workload
+//     (many more migratable tasks than ranks).
+//   - The inform (gossip) stage of Algorithm 1 as a reusable per-rank
+//     state machine (InformState) so the same logic drives both the
+//     synchronous LBAF-style simulator and the asynchronous AMT runtime.
+//   - The transfer stage of Algorithm 2 (RunTransfer) with the original
+//     and relaxed criteria, the original and modified CMFs, and optional
+//     CMF recomputation.
+//   - The four task traversal orderings of §V-E (OrderTasks).
+//   - The iterative refinement with trials of Algorithm 3 (Engine), with
+//     per-iteration accounting of transfers, rejections and imbalance.
+//
+// All randomness is drawn from seeded generators derived from
+// Config.Seed, so every run is reproducible bit-for-bit.
+package core

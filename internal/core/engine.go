@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// IterationStats records the accounting of one inform+transfer pass —
+// the rows of the §V-B and §V-D tables.
+type IterationStats struct {
+	Trial     int // 1-based
+	Iteration int // 1-based
+
+	// GossipMessages is the number of gossip messages delivered;
+	// GossipEntries the total payload entries carried by them (the
+	// communication-volume concern of footnote 2).
+	GossipMessages int
+	GossipEntries  int
+
+	// KnowledgeAvg and KnowledgeMin summarize how much of the
+	// underloaded set the gossip stage spread: the mean and minimum
+	// |S^p| over the ranks that were overloaded when the transfer stage
+	// began (the ranks whose knowledge matters). Zero when no rank was
+	// overloaded.
+	KnowledgeAvg float64
+	KnowledgeMin int
+
+	// Transfers and Rejected are the accepted/rejected decision counts
+	// summed over all ranks; NoCandidate counts transfer loops that
+	// stopped for lack of CMF mass. Nacks counts transfers vetoed by
+	// their recipient when Config.NegativeAcks is set.
+	Transfers   int
+	Rejected    int
+	NoCandidate int
+	Nacks       int
+
+	// Imbalance is I of the working distribution after this iteration's
+	// transfers were applied.
+	Imbalance float64
+}
+
+// RejectionRate returns Rejected/(Transfers+Rejected) in percent, the
+// "Rejection Rate (%)" column, or 0 when no decision was evaluated.
+func (s IterationStats) RejectionRate() float64 {
+	total := s.Transfers + s.Rejected
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Rejected) / float64(total)
+}
+
+// Move records that a task should migrate from one rank to another; the
+// set of moves is the net effect of the best distribution found.
+type Move struct {
+	Task TaskID
+	From Rank
+	To   Rank
+}
+
+// Result is the outcome of Engine.Run.
+type Result struct {
+	// InitialImbalance and FinalImbalance bracket the refinement;
+	// FinalImbalance is the best I over all trials and iterations.
+	InitialImbalance float64
+	FinalImbalance   float64
+	// BestTrial and BestIteration locate the winning distribution
+	// (both 0 when no iteration improved on the initial distribution).
+	BestTrial     int
+	BestIteration int
+	// Moves is the net task relocation set of the best distribution
+	// relative to the input assignment (Algorithm 3 line 13).
+	Moves []Move
+	// History holds per-iteration accounting across all trials in
+	// execution order.
+	History []IterationStats
+	// RemoteVolumeBefore and RemoteVolumeAfter report the cross-rank
+	// communication volume of the input and best distributions when a
+	// CommGraph was supplied to RunWithComm (both zero otherwise).
+	RemoteVolumeBefore float64
+	RemoteVolumeAfter  float64
+}
+
+// MovedLoad returns the total load carried by the result's moves — the
+// migration volume the runtime must pay.
+func (r *Result) MovedLoad(a *Assignment) float64 {
+	sum := 0.0
+	for _, m := range r.Moves {
+		sum += a.Load(m.Task)
+	}
+	return sum
+}
+
+// Engine runs the complete TemperedLB algorithm — Algorithm 3 wrapping
+// Algorithms 1 and 2 — over an Assignment, simulating the distributed
+// gossip with a deterministic asynchronous message queue. It is the
+// LB-analysis twin of the distributed implementation in lb/tempered: the
+// same per-rank decision logic, driven synchronously.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run executes Trials×Iterations inform+transfer passes over a working
+// copy of the assignment and returns the best distribution found. The
+// input assignment is not modified; apply the result's Moves to commit.
+func (e *Engine) Run(a *Assignment) (*Result, error) {
+	return e.RunWithComm(a, nil)
+}
+
+// RunWithComm is Run with the communication-aware extension of §VII:
+// when g is non-nil and Config.CommBias > 0, recipient selection is
+// biased toward ranks hosting each task's communication partners (using
+// the owner snapshot of the current iteration — the same staleness the
+// gossip knowledge has), and the result reports the remote communication
+// volume before and after.
+func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
+	if a.NumTasks() == 0 {
+		return &Result{}, nil
+	}
+	ave := a.AveLoad()
+	if ave == 0 {
+		return &Result{InitialImbalance: 0, FinalImbalance: 0}, nil
+	}
+	res := &Result{
+		InitialImbalance: a.Imbalance(),
+	}
+	res.FinalImbalance = res.InitialImbalance
+
+	numRanks := a.NumRanks()
+	var bestOwners []Rank
+
+	for trial := 1; trial <= e.cfg.Trials; trial++ {
+		work := a.Clone() // Algorithm 3 line 3: reset for each trial
+		states := make([]*InformState, numRanks)
+		transferRNG := make([]*rand.Rand, numRanks)
+		for r := 0; r < numRanks; r++ {
+			states[r] = NewInformState(Rank(r), numRanks, &e.cfg, newRNG(e.cfg.Seed, int64(trial), int64(r), 0x60551f))
+			transferRNG[r] = newRNG(e.cfg.Seed, int64(trial), int64(r), 0x7af)
+		}
+		orderRNG := newRNG(e.cfg.Seed, int64(trial), 0x0deb)
+
+		for iter := 1; iter <= e.cfg.Iterations; iter++ {
+			st := IterationStats{Trial: trial, Iteration: iter}
+
+			if !e.cfg.PersistKnowledge || iter == 1 {
+				for _, s := range states {
+					s.Reset()
+				}
+			}
+			e.gossip(work, ave, states, &st)
+			e.transferPass(work, ave, g, states, transferRNG, orderRNG, &st)
+
+			st.Imbalance = work.Imbalance() // Algorithm 3 line 9
+			res.History = append(res.History, st)
+			if st.Imbalance < res.FinalImbalance { // line 10: keep the best
+				res.FinalImbalance = st.Imbalance
+				res.BestTrial, res.BestIteration = trial, iter
+				bestOwners = work.Owners()
+			}
+		}
+	}
+
+	if bestOwners != nil {
+		orig := a.Owners()
+		for id := range orig {
+			if orig[id] != bestOwners[id] {
+				res.Moves = append(res.Moves, Move{Task: TaskID(id), From: orig[id], To: bestOwners[id]})
+			}
+		}
+	}
+	if g != nil {
+		res.RemoteVolumeBefore = g.RemoteVolume(a.Owners())
+		if bestOwners != nil {
+			res.RemoteVolumeAfter = g.RemoteVolume(bestOwners)
+		} else {
+			res.RemoteVolumeAfter = res.RemoteVolumeBefore
+		}
+	}
+	return res, nil
+}
+
+// Apply commits the result's moves to the assignment.
+func (r *Result) Apply(a *Assignment) {
+	for _, m := range r.Moves {
+		a.Move(m.Task, m.To)
+	}
+}
+
+// gossip simulates the asynchronous inform stage: underloaded ranks seed
+// messages, and a FIFO queue delivers them until quiescence — the
+// synchronous stand-in for termination detection. Message and payload
+// counts are recorded in st.
+func (e *Engine) gossip(work *Assignment, ave float64, states []*InformState, st *IterationStats) {
+	var queue []Send
+	for r := range states {
+		queue = append(queue, states[r].Begin(ave, work.RankLoad(Rank(r)))...)
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		st.GossipMessages++
+		st.GossipEntries += len(s.Msg.Entries)
+		more, _ := states[s.To].Receive(s.Msg)
+		queue = append(queue, more...)
+	}
+}
+
+// transferPass runs the transfer stage for every overloaded rank, in a
+// seeded random order, applying accepted transfers to the working
+// assignment eagerly. Each rank decides with its own gossip-stale
+// knowledge ("each overloaded rank working in isolation", §V-A), so an
+// underloaded rank may still be overloaded by several senders; eager
+// application only makes later-processed ranks see their true own load.
+func (e *Engine) transferPass(work *Assignment, ave float64, g *CommGraph, states []*InformState, transferRNG []*rand.Rand, orderRNG *rand.Rand, st *IterationStats) {
+	// Snapshot owners once per iteration for the communication-affinity
+	// lookups: senders see partner locations with the same staleness
+	// their gossip knowledge has.
+	var affinity AffinityFunc
+	if g != nil && e.cfg.CommBias > 0 {
+		owners := work.Owners()
+		affinity = func(task TaskID, to Rank) float64 {
+			sum := 0.0
+			for _, edge := range g.Edges(task) {
+				if owners[edge.Peer] == to {
+					sum += edge.Volume
+				}
+			}
+			return sum
+		}
+	}
+	order := orderRNG.Perm(work.NumRanks())
+	overloaded, knowSum := 0, 0
+	for _, ri := range order {
+		r := Rank(ri)
+		load := work.RankLoad(r)
+		if load <= e.cfg.Threshold*ave {
+			continue
+		}
+		overloaded++
+		k := states[r].Knowledge().Len()
+		knowSum += k
+		if overloaded == 1 || k < st.KnowledgeMin {
+			st.KnowledgeMin = k
+		}
+		proposals, ts, _ := RunTransferAffinity(r, work.TasksOf(r), load, ave, states[r].Knowledge(), &e.cfg, transferRNG[r], affinity)
+		st.Rejected += ts.Rejected
+		st.NoCandidate += ts.NoCandidate
+		for _, p := range proposals {
+			if e.cfg.NegativeAcks {
+				// Menon's recipient veto: the actual recipient bounces
+				// a transfer that would push it past the average.
+				if work.RankLoad(p.To)+work.Load(p.Task) >= ave {
+					st.Nacks++
+					continue
+				}
+			}
+			st.Transfers++
+			work.Move(p.Task, p.To)
+		}
+	}
+	if overloaded > 0 {
+		st.KnowledgeAvg = float64(knowSum) / float64(overloaded)
+	}
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("I %.4g -> %.4g (best trial %d iter %d, %d moves)",
+		r.InitialImbalance, r.FinalImbalance, r.BestTrial, r.BestIteration, len(r.Moves))
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func gossipConfig(f, k int) Config {
+	cfg := Grapevine()
+	cfg.Fanout = f
+	cfg.Rounds = k
+	return cfg
+}
+
+// runGossip drives a synchronous FIFO delivery of the inform stage over
+// the given per-rank loads and returns the states plus delivery count.
+func runGossip(t *testing.T, loads []float64, cfg Config) ([]*InformState, int) {
+	t.Helper()
+	n := len(loads)
+	sum := 0.0
+	for _, l := range loads {
+		sum += l
+	}
+	ave := sum / float64(n)
+	states := make([]*InformState, n)
+	for r := range states {
+		states[r] = NewInformState(Rank(r), n, &cfg, rand.New(rand.NewSource(int64(r)+100)))
+	}
+	var queue []Send
+	for r := range states {
+		queue = append(queue, states[r].Begin(ave, loads[r])...)
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		if s.To < 0 || int(s.To) >= n {
+			t.Fatalf("message to out-of-range rank %d", s.To)
+		}
+		more, _ := states[s.To].Receive(s.Msg)
+		queue = append(queue, more...)
+	}
+	return states, len(queue)
+}
+
+func TestGossipOnlyUnderloadedSeed(t *testing.T) {
+	cfg := gossipConfig(2, 3)
+	// Loads 10,0,0,0 -> ave 2.5; rank 0 overloaded.
+	states := make([]*InformState, 4)
+	for r := range states {
+		states[r] = NewInformState(Rank(r), 4, &cfg, rand.New(rand.NewSource(int64(r))))
+	}
+	if sends := states[0].Begin(2.5, 10); sends != nil {
+		t.Error("overloaded rank should not seed gossip")
+	}
+	if sends := states[1].Begin(2.5, 0); len(sends) != 2 {
+		t.Errorf("underloaded rank seeded %d messages, want fanout 2", len(sends))
+	}
+}
+
+func TestGossipSelfKnowledge(t *testing.T) {
+	cfg := gossipConfig(2, 3)
+	st := NewInformState(1, 4, &cfg, rand.New(rand.NewSource(1)))
+	st.Begin(2.5, 1.0)
+	if !st.Knowledge().Contains(1) {
+		t.Error("underloaded rank must know itself")
+	}
+	if got := st.Knowledge().Load(1); got != 1.0 {
+		t.Errorf("self load = %g", got)
+	}
+}
+
+func TestGossipNeverSendsToSelf(t *testing.T) {
+	cfg := gossipConfig(4, 4)
+	st := NewInformState(2, 8, &cfg, rand.New(rand.NewSource(2)))
+	for trial := 0; trial < 100; trial++ {
+		st.Reset()
+		for _, s := range st.Begin(10, 1) {
+			if s.To == 2 {
+				t.Fatal("rank sent gossip to itself")
+			}
+		}
+	}
+}
+
+func TestGossipRoundsRespected(t *testing.T) {
+	cfg := gossipConfig(2, 2)
+	st := NewInformState(0, 8, &cfg, rand.New(rand.NewSource(3)))
+	// Round k messages must not be forwarded.
+	sends, _ := st.Receive(InformMsg{Round: 2, Entries: []RankLoad{{Rank: 5, Load: 0.5}}})
+	if sends != nil {
+		t.Errorf("round k message forwarded: %v", sends)
+	}
+	// Fresh state: round k−1 messages are forwarded with round k.
+	st2 := NewInformState(0, 8, &cfg, rand.New(rand.NewSource(4)))
+	sends, _ = st2.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 5, Load: 0.5}}})
+	if len(sends) != 2 {
+		t.Fatalf("forwarded %d messages, want 2", len(sends))
+	}
+	for _, s := range sends {
+		if s.Msg.Round != 2 {
+			t.Errorf("forwarded round = %d, want 2", s.Msg.Round)
+		}
+	}
+}
+
+func TestGossipForwardOncePerRound(t *testing.T) {
+	cfg := gossipConfig(2, 5)
+	st := NewInformState(0, 16, &cfg, rand.New(rand.NewSource(5)))
+	first, _ := st.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 3, Load: 1}}})
+	if len(first) == 0 {
+		t.Fatal("first round-1 message not forwarded")
+	}
+	second, _ := st.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 4, Load: 1}}})
+	if second != nil {
+		t.Error("second round-1 message also forwarded")
+	}
+}
+
+func TestGossipNoForwardWhenNothingNew(t *testing.T) {
+	cfg := gossipConfig(2, 5)
+	st := NewInformState(0, 16, &cfg, rand.New(rand.NewSource(6)))
+	st.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 3, Load: 1}}})
+	// Same content at a later round: nothing new, no forward.
+	sends, added := st.Receive(InformMsg{Round: 2, Entries: []RankLoad{{Rank: 3, Load: 1}}})
+	if added != 0 || sends != nil {
+		t.Errorf("redundant message forwarded: added=%d sends=%v", added, sends)
+	}
+}
+
+func TestGossipFloodForwardAlwaysForwards(t *testing.T) {
+	cfg := gossipConfig(2, 5)
+	cfg.FloodForward = true
+	st := NewInformState(0, 16, &cfg, rand.New(rand.NewSource(7)))
+	st.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 3, Load: 1}}})
+	sends, _ := st.Receive(InformMsg{Round: 1, Entries: []RankLoad{{Rank: 3, Load: 1}}})
+	if len(sends) != 2 {
+		t.Errorf("flood mode forwarded %d, want 2", len(sends))
+	}
+}
+
+func TestGossipKnowledgeGrowsMonotonically(t *testing.T) {
+	cfg := gossipConfig(3, 4)
+	loads := make([]float64, 64)
+	for i := range loads {
+		if i%4 == 0 {
+			loads[i] = 8
+		} else {
+			loads[i] = 0.5
+		}
+	}
+	states, _ := runGossip(t, loads, cfg)
+	for r, st := range states {
+		k := st.Knowledge()
+		if k.Len() > 0 {
+			// Every entry must be a genuinely underloaded rank.
+			sum := 0.0
+			for _, l := range loads {
+				sum += l
+			}
+			ave := sum / float64(len(loads))
+			for _, e := range k.Entries() {
+				if loads[e.Rank] >= ave {
+					t.Fatalf("rank %d knows overloaded rank %d", r, e.Rank)
+				}
+			}
+		}
+	}
+}
+
+// TestGossipReachesOverloadedRanks verifies the purpose of the inform
+// stage: with reasonable f·k, overloaded ranks end up knowing a large
+// fraction of the underloaded ranks.
+func TestGossipReachesOverloadedRanks(t *testing.T) {
+	cfg := gossipConfig(4, 6)
+	n := 128
+	loads := make([]float64, n)
+	for i := 0; i < 4; i++ {
+		loads[i] = 100
+	}
+	underloaded := n - 4
+	states, _ := runGossip(t, loads, cfg)
+	for r := 0; r < 4; r++ {
+		got := states[r].Knowledge().Len()
+		if got < underloaded/2 {
+			t.Errorf("overloaded rank %d knows only %d/%d underloaded ranks", r, got, underloaded)
+		}
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	cfg := gossipConfig(3, 5)
+	loads := make([]float64, 32)
+	for i := range loads {
+		loads[i] = float64(i % 5)
+	}
+	s1, n1 := runGossip(t, loads, cfg)
+	s2, n2 := runGossip(t, loads, cfg)
+	if n1 != n2 {
+		t.Fatalf("message counts differ: %d vs %d", n1, n2)
+	}
+	for r := range s1 {
+		e1, e2 := s1[r].Knowledge().Entries(), s2[r].Knowledge().Entries()
+		if len(e1) != len(e2) {
+			t.Fatalf("rank %d knowledge differs", r)
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("rank %d entry %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestGossipTerminates(t *testing.T) {
+	// Even in flood mode the rounds bound guarantees termination.
+	cfg := gossipConfig(2, 3)
+	cfg.FloodForward = true
+	loads := make([]float64, 16)
+	for i := range loads {
+		loads[i] = float64(i)
+	}
+	_, delivered := runGossip(t, loads, cfg)
+	if delivered <= 0 {
+		t.Error("no messages delivered")
+	}
+}
+
+func TestKnowledgeBasics(t *testing.T) {
+	k := NewKnowledge(8)
+	if !k.Add(3, 1.5) {
+		t.Error("first Add returned false")
+	}
+	if k.Add(3, 9.9) {
+		t.Error("duplicate Add returned true")
+	}
+	if k.Load(3) != 1.5 {
+		t.Error("duplicate Add overwrote load")
+	}
+	k.Update(3, 2.0)
+	if k.Load(3) != 2.0 {
+		t.Error("Update did not apply")
+	}
+	if k.Len() != 1 || !k.Contains(3) || k.Contains(4) {
+		t.Error("membership wrong")
+	}
+	if k.NumRanks() != 8 {
+		t.Error("NumRanks wrong")
+	}
+	mustPanic(t, "Update unknown", func() { k.Update(5, 1) })
+	mustPanic(t, "Load unknown", func() { k.Load(5) })
+}
+
+func TestKnowledgeEntriesSnapshotImmutable(t *testing.T) {
+	k := NewKnowledge(8)
+	k.Add(1, 1)
+	snap := k.Entries()
+	k.Add(2, 2)
+	k.Update(1, 99)
+	if len(snap) != 1 || snap[0].Load != 1 {
+		t.Errorf("snapshot mutated: %v", snap)
+	}
+}
+
+func TestKnowledgeMergeAndReset(t *testing.T) {
+	k := NewKnowledge(8)
+	added := k.Merge([]RankLoad{{1, 1}, {2, 2}, {1, 9}})
+	if added != 2 || k.Len() != 2 {
+		t.Errorf("Merge added %d, len %d", added, k.Len())
+	}
+	snap := k.Entries()
+	k.Reset()
+	if k.Len() != 0 || k.Contains(1) {
+		t.Error("Reset did not clear")
+	}
+	if len(snap) != 2 {
+		t.Error("Reset invalidated prior snapshot")
+	}
+	if !k.Add(1, 5) {
+		t.Error("Add after Reset failed")
+	}
+	if k.Load(1) != 5 {
+		t.Error("load after Reset wrong")
+	}
+}
+
+func TestKnowledgeMaxLoad(t *testing.T) {
+	k := NewKnowledge(8)
+	if k.MaxLoad() != 0 {
+		t.Error("MaxLoad of empty != 0")
+	}
+	k.Add(1, 3)
+	k.Add(2, 7)
+	k.Update(2, 1)
+	k.Update(1, 4)
+	if got := k.MaxLoad(); got != 4 {
+		t.Errorf("MaxLoad = %g, want 4 (post-update values)", got)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+// RankLoad is one entry of the gossip payload: an underloaded rank and
+// its load as known to the sender.
+type RankLoad struct {
+	Rank Rank
+	Load float64
+}
+
+// Knowledge is a rank's accumulated partial view of the underloaded
+// ranks in the system: the set S^p and load map LOAD^p of the paper's
+// notation, kept consistent by construction (|S^p| ≡ |LOAD^p()|).
+//
+// Entries are kept in insertion order so CMF construction and sampling
+// are deterministic for a deterministic message order. The entry list is
+// append-only, which lets Entries return a zero-copy snapshot: gossip
+// payloads at scale would otherwise dominate allocation (footnote 2 of
+// the paper discusses exactly this O(P) list-size concern).
+type Knowledge struct {
+	has     []bool    // indexed by rank
+	load    []float64 // indexed by rank; valid where has[r]; updated by transfers
+	entries []RankLoad
+}
+
+// NewKnowledge returns empty knowledge over numRanks ranks.
+func NewKnowledge(numRanks int) *Knowledge {
+	return &Knowledge{
+		has:  make([]bool, numRanks),
+		load: make([]float64, numRanks),
+	}
+}
+
+// Add inserts rank r with load l if not yet known and reports whether
+// the entry was new. An existing entry is left untouched: the first load
+// learned for a rank wins, matching set-union semantics of Algorithm 1
+// lines 16–17.
+func (k *Knowledge) Add(r Rank, l float64) bool {
+	if k.has[r] {
+		return false
+	}
+	k.has[r] = true
+	k.load[r] = l
+	k.entries = append(k.entries, RankLoad{Rank: r, Load: l})
+	return true
+}
+
+// Update overwrites the known load of rank r; r must already be known.
+// The transfer stage uses it to account scheduled transfers (Algorithm 2
+// line 12). Updates are visible through Load and the CMF but not through
+// previously taken Entries snapshots, whose loads are frozen at gossip
+// time — exactly the staleness in-flight messages would carry.
+func (k *Knowledge) Update(r Rank, l float64) {
+	if !k.has[r] {
+		panic("core: Knowledge.Update of unknown rank")
+	}
+	k.load[r] = l
+}
+
+// Contains reports whether rank r is in S^p.
+func (k *Knowledge) Contains(r Rank) bool { return k.has[r] }
+
+// Load returns the known load of rank r; r must be known.
+func (k *Knowledge) Load(r Rank) float64 {
+	if !k.has[r] {
+		panic("core: Knowledge.Load of unknown rank")
+	}
+	return k.load[r]
+}
+
+// Len returns |S^p|.
+func (k *Knowledge) Len() int { return len(k.entries) }
+
+// NumRanks returns the size of the rank space the knowledge covers.
+func (k *Knowledge) NumRanks() int { return len(k.has) }
+
+// Entries returns the knowledge as a payload slice in insertion order.
+// The returned slice is an immutable snapshot: the Knowledge only ever
+// appends past its length, so holders (in-flight messages) stay valid
+// with no copying.
+func (k *Knowledge) Entries() []RankLoad { return k.entries[:len(k.entries):len(k.entries)] }
+
+// Merge adds all unknown entries from the payload and returns the number
+// of new entries (Algorithm 1 lines 16–17).
+func (k *Knowledge) Merge(entries []RankLoad) int {
+	added := 0
+	for _, e := range entries {
+		if k.Add(e.Rank, e.Load) {
+			added++
+		}
+	}
+	return added
+}
+
+// MaxLoad returns the largest known load (0 when empty), used by the
+// modified CMF's l_s = max(l_ave, max LOAD^p).
+func (k *Knowledge) MaxLoad() float64 {
+	max := 0.0
+	for _, e := range k.entries {
+		if l := k.load[e.Rank]; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Reset empties the knowledge for reuse in a new iteration. The entry
+// buffer is abandoned, not truncated, so snapshots taken before the
+// reset remain valid.
+func (k *Knowledge) Reset() {
+	for _, e := range k.entries {
+		k.has[e.Rank] = false
+	}
+	k.entries = nil
+}

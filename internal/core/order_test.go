@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func tasksFromLoads(loads ...float64) []Task {
+	ts := make([]Task, len(loads))
+	for i, l := range loads {
+		ts[i] = Task{ID: TaskID(i), Load: l}
+	}
+	return ts
+}
+
+func isPermutation(in, out []Task) bool {
+	if len(in) != len(out) {
+		return false
+	}
+	seen := make(map[TaskID]int)
+	for _, t := range in {
+		seen[t.ID]++
+	}
+	for _, t := range out {
+		seen[t.ID]--
+	}
+	for _, c := range seen {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOrderArbitraryIsByID(t *testing.T) {
+	in := []Task{{ID: 3, Load: 1}, {ID: 1, Load: 9}, {ID: 2, Load: 5}}
+	out := OrderTasks(in, 1, 15, OrderArbitrary)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].ID >= out[i].ID {
+			t.Fatalf("not sorted by ID: %v", out)
+		}
+	}
+}
+
+func TestOrderLoadIntensiveDescending(t *testing.T) {
+	in := tasksFromLoads(2, 9, 5, 7)
+	out := OrderTasks(in, 1, 23, OrderLoadIntensive)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Load < out[i].Load {
+			t.Fatalf("not descending: %v", out)
+		}
+	}
+	if !isPermutation(in, out) {
+		t.Error("not a permutation")
+	}
+}
+
+func TestOrderDoesNotModifyInput(t *testing.T) {
+	in := tasksFromLoads(2, 9, 5)
+	OrderTasks(in, 1, 16, OrderLoadIntensive)
+	if in[0].Load != 2 || in[1].Load != 9 || in[2].Load != 5 {
+		t.Error("input slice reordered")
+	}
+}
+
+func TestOrderFewestMigrationsCutoffFirst(t *testing.T) {
+	// selfLoad 16, ave 6 -> excess 10. Task loads: 3, 8, 12, 15.
+	// Cutoff = smallest load > 10 = 12: order should be 12 first, then
+	// <=12 descending (8, 3), then >12 ascending (15).
+	in := tasksFromLoads(3, 8, 12, 15)
+	out := OrderTasks(in, 6, 16, OrderFewestMigrations)
+	wantLoads := []float64{12, 8, 3, 15}
+	for i, w := range wantLoads {
+		if out[i].Load != w {
+			t.Fatalf("order = %v, want loads %v", out, wantLoads)
+		}
+	}
+	if !isPermutation(in, out) {
+		t.Error("not a permutation")
+	}
+}
+
+func TestOrderFewestMigrationsFallsBackToDescending(t *testing.T) {
+	// No single task covers the excess (Algorithm 5 line 3).
+	// selfLoad 20, ave 2 -> excess 18 > max load 9.
+	in := tasksFromLoads(2, 9, 5, 4)
+	out := OrderTasks(in, 2, 20, OrderFewestMigrations)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Load < out[i].Load {
+			t.Fatalf("fallback not descending: %v", out)
+		}
+	}
+}
+
+func TestOrderLightestMarginalFirst(t *testing.T) {
+	// selfLoad 13, ave 3 -> excess 10. Ascending loads: 1,2,3,4,8.
+	// Prefix sums: 1,3,6,10 -> marginal load 4 (first reaching 10).
+	// Order: <=4 descending: 4,3,2,1 then >4 ascending: 8.
+	in := tasksFromLoads(3, 1, 8, 2, 4)
+	out := OrderTasks(in, 3, 13, OrderLightest)
+	wantLoads := []float64{4, 3, 2, 1, 8}
+	for i, w := range wantLoads {
+		if out[i].Load != w {
+			t.Fatalf("order = %v, want loads %v", out, wantLoads)
+		}
+	}
+}
+
+func TestOrderLightestNotActuallyOverloaded(t *testing.T) {
+	// Excess exceeds the total load: order stays ascending.
+	in := tasksFromLoads(3, 1, 2)
+	out := OrderTasks(in, 1, 100, OrderLightest)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Load > out[i].Load {
+			t.Fatalf("not ascending: %v", out)
+		}
+	}
+}
+
+func TestOrderingsArePermutationsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	orders := []Ordering{OrderArbitrary, OrderLoadIntensive, OrderFewestMigrations, OrderLightest}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(30)
+		in := make([]Task, n)
+		for i := range in {
+			in[i] = Task{ID: TaskID(i), Load: rng.Float64() * 10}
+		}
+		selfLoad := 0.0
+		for _, task := range in {
+			selfLoad += task.Load
+		}
+		ave := selfLoad * (0.1 + rng.Float64()*0.8) / float64(n)
+		for _, ord := range orders {
+			out := OrderTasks(in, ave, selfLoad, ord)
+			if !isPermutation(in, out) {
+				t.Fatalf("%v produced a non-permutation", ord)
+			}
+		}
+	}
+}
+
+func TestOrderingDeterministicTies(t *testing.T) {
+	in := []Task{{ID: 5, Load: 2}, {ID: 1, Load: 2}, {ID: 9, Load: 2}}
+	out := OrderTasks(in, 1, 6, OrderLoadIntensive)
+	ids := []TaskID{out[0].ID, out[1].ID, out[2].ID}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Errorf("ties not broken by ID: %v", ids)
+	}
+}
+
+func TestOrderEmptyAndSingle(t *testing.T) {
+	if out := OrderTasks(nil, 1, 1, OrderFewestMigrations); len(out) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	single := tasksFromLoads(4)
+	for _, ord := range []Ordering{OrderArbitrary, OrderLoadIntensive, OrderFewestMigrations, OrderLightest} {
+		out := OrderTasks(single, 1, 4, ord)
+		if len(out) != 1 || out[0].Load != 4 {
+			t.Errorf("%v on single task = %v", ord, out)
+		}
+	}
+}
+
+func TestParseOrdering(t *testing.T) {
+	for _, ord := range []Ordering{OrderArbitrary, OrderLoadIntensive, OrderFewestMigrations, OrderLightest} {
+		got, err := ParseOrdering(ord.String())
+		if err != nil || got != ord {
+			t.Errorf("ParseOrdering(%q) = %v, %v", ord.String(), got, err)
+		}
+	}
+	if _, err := ParseOrdering("bogus"); err == nil {
+		t.Error("ParseOrdering should fail on unknown name")
+	}
+}

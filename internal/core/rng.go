@@ -1,0 +1,36 @@
+package core
+
+import "math/rand"
+
+// deriveSeed mixes a base seed with stream identifiers (rank, trial, …)
+// into an independent-looking seed using the splitmix64 finalizer, so
+// per-rank and per-trial random streams do not correlate.
+func deriveSeed(base int64, streams ...int64) int64 {
+	x := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, s := range streams {
+		x ^= uint64(s) + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = splitmix64(x)
+	}
+	return int64(splitmix64(x) >> 1)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newRNG returns a seeded generator for the given stream.
+func newRNG(base int64, streams ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(base, streams...)))
+}
+
+// SeededRNG returns a generator for an independent random stream derived
+// from a base seed and stream identifiers (rank, trial, …). The
+// distributed balancer uses it to give every rank its own reproducible
+// stream.
+func SeededRNG(base int64, streams ...int64) *rand.Rand {
+	return newRNG(base, streams...)
+}

@@ -1,0 +1,155 @@
+package core
+
+import "math/rand"
+
+// Proposal is one scheduled task transfer produced by the transfer
+// stage: task Task moves to rank To. Transfers are deferred — recorded
+// in M^p and TARGET^p — and only executed once the refinement of
+// Algorithm 3 has selected the best distribution.
+type Proposal struct {
+	Task TaskID
+	To   Rank
+}
+
+// TransferStats counts the decisions of one transfer-stage execution.
+type TransferStats struct {
+	// Accepted is the number of proposed transfers (|M^p| growth).
+	Accepted int
+	// Rejected counts false EVALUATECRITERION outcomes.
+	Rejected int
+	// NoCandidate counts loop exits because the CMF had no positive mass
+	// (every known rank at or above the normalization level).
+	NoCandidate int
+	// CMFBuilds counts BUILDCMF invocations.
+	CMFBuilds int
+}
+
+// RunTransfer executes the transfer stage (Algorithm 2) for one
+// overloaded rank.
+//
+// tasks is the rank's current task set T^p; selfLoad its load l^p; ave
+// the global average l_ave. know is the rank's gossip knowledge and is
+// mutated in place: accepted transfers bump the recipient's known load
+// (line 12) so subsequent decisions — and the recomputed CMF, when
+// cfg.RecomputeCMF is set — see them. rng must be the rank's private
+// generator.
+//
+// It returns the proposals, the decision statistics, and the rank's
+// load after the scheduled transfers.
+func RunTransfer(self Rank, tasks []Task, selfLoad, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand) ([]Proposal, TransferStats, float64) {
+	return RunTransferAffinity(self, tasks, selfLoad, ave, know, cfg, rng, nil)
+}
+
+// AffinityFunc reports the communication volume a task exchanges with
+// peers currently hosted on a candidate rank; the communication-aware
+// extension biases recipient selection with it.
+type AffinityFunc func(task TaskID, to Rank) float64
+
+// RunTransferAffinity is RunTransfer with the communication-aware
+// recipient bias of the §VII extension: when affinity is non-nil and
+// cfg.CommBias > 0, each task samples from a CMF blended toward ranks
+// hosting its communication partners.
+func RunTransferAffinity(self Rank, tasks []Task, selfLoad, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc) ([]Proposal, TransferStats, float64) {
+	var (
+		proposals []Proposal
+		st        TransferStats
+	)
+	if know.Len() == 0 {
+		return nil, st, selfLoad
+	}
+	if cfg.CommBias <= 0 {
+		affinity = nil
+	}
+
+	maxPasses := cfg.Passes
+	if maxPasses <= 0 {
+		// Until quiescence: bounded by the task count since every pass
+		// must accept at least one transfer to continue.
+		maxPasses = len(tasks) + 1
+	}
+
+	remaining := tasks
+	for pass := 0; pass < maxPasses && selfLoad > cfg.Threshold*ave && len(remaining) > 0; pass++ {
+		var kept []Task
+		accepted, done := transferPass(self, remaining, &selfLoad, ave, know, cfg, rng, affinity, &proposals, &st, &kept)
+		remaining = kept
+		if done || accepted == 0 {
+			break
+		}
+	}
+	return proposals, st, selfLoad
+}
+
+// transferPass makes one traversal of the task list (the body of
+// Algorithm 2's while loop). It appends accepted proposals, keeps
+// rejected tasks for a possible next pass, and reports the number of
+// acceptances plus whether the loop ended for good (no longer overloaded
+// or no candidate mass left).
+func transferPass(self Rank, ordered []Task, selfLoad *float64, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc, proposals *[]Proposal, st *TransferStats, kept *[]Task) (accepted int, done bool) {
+	ordered = OrderTasks(ordered, ave, *selfLoad, cfg.Order)
+
+	var (
+		cmf CMF
+		ok  bool
+	)
+	if !cfg.RecomputeCMF { // line 5: build once
+		cmf, ok = BuildCMF(know, self, ave, cfg.CMF)
+		st.CMFBuilds++
+		if !ok {
+			st.NoCandidate++
+			return 0, true
+		}
+	}
+
+	n := 0
+	for ; *selfLoad > cfg.Threshold*ave && n < len(ordered); n++ {
+		if cfg.RecomputeCMF { // line 7: rebuild with updated knowledge
+			cmf, ok = BuildCMF(know, self, ave, cfg.CMF)
+			st.CMFBuilds++
+			if !ok {
+				st.NoCandidate++
+				*kept = append(*kept, ordered[n:]...)
+				return accepted, true
+			}
+		}
+		o := ordered[n]
+		pick := cmf
+		if affinity != nil {
+			pick = cmf.Blend(func(r Rank) float64 { return affinity(o.ID, r) }, cfg.CommBias)
+		}
+		px := pick.Sample(rng)                                  // line 9
+		lx := know.Load(px)                                     // line 10
+		if cfg.Criterion.Evaluate(lx, o.Load, ave, *selfLoad) { // line 11
+			know.Update(px, lx+o.Load) // line 12
+			*selfLoad -= o.Load        // line 13
+			*proposals = append(*proposals, Proposal{Task: o.ID, To: px})
+			st.Accepted++
+			accepted++
+		} else {
+			st.Rejected++
+			*kept = append(*kept, o)
+		}
+	}
+	*kept = append(*kept, ordered[n:]...)
+	return accepted, false
+}
+
+// Objective is the paper's objective function F(D) = I_D − h + 1 =
+// l_max/l_ave − h (§V-B). The transfer criterion of §V-C is proven to be
+// the loosest one under which F monotonically decreases.
+func Objective(loads []float64, h float64) float64 {
+	if len(loads) == 0 {
+		return -h
+	}
+	max, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return -h
+	}
+	return max/(sum/float64(len(loads))) - h
+}

@@ -1,0 +1,274 @@
+package empire
+
+import (
+	"testing"
+
+	"temperedlb/internal/mesh"
+	"temperedlb/internal/stats"
+)
+
+func TestDefaultMatchesPaperScale(t *testing.T) {
+	cfg := Default()
+	if cfg.NumRanks() != 400 {
+		t.Errorf("ranks = %d, want 400", cfg.NumRanks())
+	}
+	if cfg.ODX*cfg.ODY != 24 {
+		t.Errorf("overdecomposition = %d, want 24", cfg.ODX*cfg.ODY)
+	}
+	if cfg.Steps != 1500 || cfg.LBFirstStep != 2 || cfg.LBPeriod != 100 {
+		t.Errorf("schedule drifted: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallValidates(t *testing.T) {
+	if err := Small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.LBPeriod = 0 },
+		func(c *Config) { c.AMTOverhead = -1 },
+		func(c *Config) { c.NumSpots = -1 },
+	}
+	for i, mod := range mods {
+		cfg := Small()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewAppRejectsIndivisibleMesh(t *testing.T) {
+	cfg := Small()
+	cfg.ODX = 5 // 6 cells per rank not divisible by 5
+	if _, err := NewApp(cfg); err == nil {
+		t.Error("indivisible coloring accepted")
+	}
+}
+
+func TestLBDueSchedule(t *testing.T) {
+	cfg := Default() // first at 2, then every 100
+	wantDue := map[int]bool{2: true, 100: true, 200: true, 1500: true}
+	wantNot := []int{1, 3, 50, 99, 101, 150}
+	for s, want := range wantDue {
+		if cfg.LBDue(s) != want {
+			t.Errorf("LBDue(%d) != %v", s, want)
+		}
+	}
+	for _, s := range wantNot {
+		if cfg.LBDue(s) {
+			t.Errorf("LBDue(%d) unexpectedly true", s)
+		}
+	}
+}
+
+func TestStepCountsSumToPopulation(t *testing.T) {
+	app, err := NewApp(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10; s++ {
+		counts := app.Step()
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != app.NumParticles() {
+			t.Fatalf("step %d: counts sum %d != population %d", s, total, app.NumParticles())
+		}
+	}
+	if app.StepNumber() != 10 {
+		t.Errorf("StepNumber = %d", app.StepNumber())
+	}
+}
+
+func TestPopulationGrowsByInjection(t *testing.T) {
+	cfg := Small()
+	app, _ := NewApp(cfg)
+	before := app.NumParticles()
+	app.Step()
+	want := before + cfg.InjectPerStep + cfg.BackgroundPerStep
+	if app.NumParticles() != want {
+		t.Errorf("population %d, want %d", app.NumParticles(), want)
+	}
+}
+
+func TestWorkloadIsImbalanced(t *testing.T) {
+	app, err := NewApp(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for s := 0; s < 30; s++ {
+		counts = app.Step()
+	}
+	loads := app.ColorLoads(counts)
+	// Aggregate to rank loads under the home mapping.
+	rankLoads := make([]float64, app.Cfg.NumRanks())
+	for c, l := range loads {
+		rankLoads[app.Coloring.HomeRank(mesh.ColorID(c))] += l
+	}
+	if i := stats.Imbalance(rankLoads); i < 1 {
+		t.Errorf("workload imbalance only %g; spots not concentrated enough", i)
+	}
+}
+
+// TestHotColorsExceedAverageRankLoad checks the mechanism behind the
+// GrapevineLB quality gap: some colors must individually outweigh the
+// average rank load, making them unplaceable under the original
+// criterion.
+func TestHotColorsExceedAverageRankLoad(t *testing.T) {
+	app, err := NewApp(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for s := 0; s < 60; s++ {
+		counts = app.Step()
+	}
+	loads := app.ColorLoads(counts)
+	total, maxColor := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > maxColor {
+			maxColor = l
+		}
+	}
+	ave := total / float64(app.Cfg.NumRanks())
+	if maxColor <= ave {
+		t.Errorf("max color %g <= ave rank load %g; original criterion would not be blocked", maxColor, ave)
+	}
+	if maxColor > 4*ave {
+		t.Errorf("max color %g > 4x ave %g; even the relaxed criterion could not spread it well", maxColor, ave)
+	}
+}
+
+func TestSpotsDriftOverTime(t *testing.T) {
+	app, err := NewApp(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := app.SpotCenters()
+	for s := 0; s < 100; s++ {
+		app.Step()
+	}
+	after := app.SpotCenters()
+	moved := false
+	for i := range before {
+		dx := after[i][0] - before[i][0]
+		dy := after[i][1] - before[i][1]
+		if dx*dx+dy*dy > 1e-8 {
+			moved = true
+		}
+		if after[i][0] < 0 || after[i][0] > 1 || after[i][1] < 0 || after[i][1] > 1 {
+			t.Fatalf("spot %d escaped: %v", i, after[i])
+		}
+	}
+	if !moved {
+		t.Error("no spot drifted")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a1, _ := NewApp(Small())
+	a2, _ := NewApp(Small())
+	for s := 0; s < 5; s++ {
+		c1, c2 := a1.Step(), a2.Step()
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestNonParticleTimeBalanced(t *testing.T) {
+	app, _ := NewApp(Small())
+	got := app.NonParticleTimePerStep()
+	want := app.Cfg.NonParticlePerCell * float64(app.Cfg.CellsPerRankX*app.Cfg.CellsPerRankY)
+	if got != want {
+		t.Errorf("NonParticleTimePerStep = %g, want %g", got, want)
+	}
+}
+
+func TestMediumValidatesAndScales(t *testing.T) {
+	cfg := Medium()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumRanks() != 64 || cfg.Steps != 300 {
+		t.Errorf("Medium dims drifted: %d ranks %d steps", cfg.NumRanks(), cfg.Steps)
+	}
+	if _, err := NewApp(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediumExhibitsHeavyColors(t *testing.T) {
+	app, err := NewApp(Medium())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for s := 0; s < 120; s++ {
+		counts = app.Step()
+	}
+	loads := app.ColorLoads(counts)
+	total, maxColor := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > maxColor {
+			maxColor = l
+		}
+	}
+	ave := total / float64(app.Cfg.NumRanks())
+	if maxColor <= ave {
+		t.Errorf("Medium lost the heavy-color property: max %g <= ave %g", maxColor, ave)
+	}
+}
+
+func TestSpotReflection(t *testing.T) {
+	x, v := 0.02, -1.0
+	reflectSpot(&x, &v)
+	if x < 0.05 || v != 1.0 {
+		t.Errorf("low reflection: x=%g v=%g", x, v)
+	}
+	x, v = 0.98, 1.0
+	reflectSpot(&x, &v)
+	if x > 0.95 || v != -1.0 {
+		t.Errorf("high reflection: x=%g v=%g", x, v)
+	}
+	// In-range positions untouched.
+	x, v = 0.5, 1.0
+	reflectSpot(&x, &v)
+	if x != 0.5 || v != 1.0 {
+		t.Error("mid-range modified")
+	}
+}
+
+func TestZeroSpotsStillRuns(t *testing.T) {
+	cfg := Small()
+	cfg.NumSpots = 0
+	cfg.SpotInitial = 0
+	cfg.InjectPerStep = 0
+	app, err := NewApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := app.Step()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != app.NumParticles() {
+		t.Error("census mismatch with zero spots")
+	}
+}

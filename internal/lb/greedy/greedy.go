@@ -1,0 +1,83 @@
+// Package greedy implements the centralized GreedyLB baseline of the
+// paper's evaluation (§VI-B): gather every task load on one rank, sort
+// tasks by descending load, and repeatedly assign the heaviest remaining
+// task to the least-loaded rank (LPT scheduling). It produces
+// high-quality distributions but is "a non-scalable, centralized, greedy
+// algorithm" — its gather/scatter traffic and O(T log T) central work
+// grow with the whole machine, which is exactly why the paper uses it
+// only as a quality yardstick.
+package greedy
+
+import (
+	"container/heap"
+	"sort"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lb"
+)
+
+// Strategy is the centralized greedy balancer.
+type Strategy struct{}
+
+// New returns the GreedyLB baseline.
+func New() *Strategy { return &Strategy{} }
+
+// Name implements lb.Strategy.
+func (*Strategy) Name() string { return "GreedyLB" }
+
+// Rebalance implements lb.Strategy with LPT assignment from scratch.
+func (*Strategy) Rebalance(a *core.Assignment) (*lb.Plan, error) {
+	n := a.NumTasks()
+	tasks := make([]core.Task, 0, n)
+	for id := 0; id < n; id++ {
+		tasks = append(tasks, core.Task{ID: core.TaskID(id), Load: a.Load(core.TaskID(id))})
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Load != tasks[j].Load {
+			return tasks[i].Load > tasks[j].Load
+		}
+		return tasks[i].ID < tasks[j].ID
+	})
+
+	h := make(rankHeap, a.NumRanks())
+	for r := range h {
+		h[r] = rankLoad{rank: core.Rank(r)}
+	}
+	heap.Init(&h)
+
+	proposed := make([]core.Rank, n)
+	for _, task := range tasks {
+		least := h[0]
+		proposed[task.ID] = least.rank
+		least.load += task.Load
+		h[0] = least
+		heap.Fix(&h, 0)
+	}
+
+	// Cost: every rank ships its task stats to rank 0 and receives its
+	// new assignment back — 2(P−1) messages in two sequential phases.
+	msgs := 2 * (a.NumRanks() - 1)
+	plan := lb.PlanFromOwners(a, proposed, msgs)
+	plan.Epochs = 2
+	return plan, nil
+}
+
+type rankLoad struct {
+	rank core.Rank
+	load float64
+}
+
+// rankHeap is a min-heap on load with rank id as the deterministic tie
+// breaker.
+type rankHeap []rankLoad
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(rankLoad)) }
+func (h *rankHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

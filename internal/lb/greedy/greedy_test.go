@@ -1,0 +1,127 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func TestGreedyBalancesUnitTasks(t *testing.T) {
+	a := core.NewAssignment(4)
+	for i := 0; i < 16; i++ {
+		a.Add(1, 0)
+	}
+	plan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.FinalImbalance) > 1e-12 {
+		t.Errorf("unit tasks should balance perfectly, I=%g", plan.FinalImbalance)
+	}
+	plan.Apply(a)
+	for r := 0; r < 4; r++ {
+		if a.RankLoad(core.Rank(r)) != 4 {
+			t.Errorf("rank %d load %g", r, a.RankLoad(core.Rank(r)))
+		}
+	}
+}
+
+func TestGreedyNearOptimalOnRandomLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := core.NewAssignment(8)
+	for i := 0; i < 200; i++ {
+		a.Add(rng.Float64()*2, core.Rank(rng.Intn(2)))
+	}
+	plan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPT guarantees max <= (4/3)·OPT; with 200 small tasks over 8 ranks
+	// the result should be essentially perfect.
+	if plan.FinalImbalance > 0.05 {
+		t.Errorf("greedy I = %g, want near 0", plan.FinalImbalance)
+	}
+}
+
+func TestGreedyLPTBoundProperty(t *testing.T) {
+	// Graham's bound: l_max <= ave + (1 - 1/P)·maxTask, hence
+	// I <= (1 - 1/P)·maxTask/ave.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := 2 + rng.Intn(8)
+		a := core.NewAssignment(p)
+		n := p + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			a.Add(0.1+rng.Float64()*5, 0)
+		}
+		plan, err := New().Rebalance(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 - 1/float64(p)) * a.MaxTaskLoad() / a.AveLoad()
+		if plan.FinalImbalance > bound+1e-9 {
+			t.Fatalf("LPT bound violated: I=%g bound=%g", plan.FinalImbalance, bound)
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	mk := func() *core.Assignment {
+		rng := rand.New(rand.NewSource(3))
+		a := core.NewAssignment(6)
+		for i := 0; i < 60; i++ {
+			a.Add(rng.Float64(), core.Rank(rng.Intn(6)))
+		}
+		return a
+	}
+	p1, _ := New().Rebalance(mk())
+	p2, _ := New().Rebalance(mk())
+	if len(p1.Moves) != len(p2.Moves) {
+		t.Fatal("nondeterministic move count")
+	}
+	for i := range p1.Moves {
+		if p1.Moves[i] != p2.Moves[i] {
+			t.Fatal("nondeterministic moves")
+		}
+	}
+}
+
+func TestGreedyMessagesCost(t *testing.T) {
+	a := core.NewAssignment(10)
+	a.Add(1, 0)
+	plan, _ := New().Rebalance(a)
+	if plan.Messages != 18 {
+		t.Errorf("messages = %d, want 2(P-1)=18", plan.Messages)
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	a := core.NewAssignment(4)
+	plan, err := New().Rebalance(a)
+	if err != nil || plan.MovedTasks() != 0 {
+		t.Errorf("empty: %+v, %v", plan, err)
+	}
+}
+
+func TestGreedyName(t *testing.T) {
+	if New().Name() != "GreedyLB" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGreedyDoesNotMutateInput(t *testing.T) {
+	a := core.NewAssignment(4)
+	for i := 0; i < 10; i++ {
+		a.Add(1, 0)
+	}
+	owners := a.Owners()
+	New().Rebalance(a)
+	after := a.Owners()
+	for i := range owners {
+		if owners[i] != after[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}

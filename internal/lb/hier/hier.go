@@ -1,0 +1,259 @@
+// Package hier implements the hierarchical HierLB baseline (§VI-B, in
+// the style of Zheng's tree-based balancers): ranks form a tree with a
+// fixed fanout, subtree loads are aggregated bottom-up, and excess load
+// is traded between sibling subtrees top-down so every subtree converges
+// to its proportional share of the total. Its critical path grows with
+// the tree height, Ω(log P), which is why the paper expects distributed
+// schemes to overtake it at extreme scale.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lb"
+)
+
+// Preference biases which tasks a donor subtree offers first. The
+// paper's EMPIRE runs configure HierLB to preferentially migrate the
+// most load-intensive tasks on the second timestep and the most
+// lightweight ones on the fourth (§VI-B).
+type Preference int
+
+const (
+	// PreferBestFit picks the largest task not exceeding the deficit.
+	PreferBestFit Preference = iota
+	// PreferHeavy picks the heaviest movable task first.
+	PreferHeavy
+	// PreferLight picks the lightest movable task first.
+	PreferLight
+)
+
+// Strategy is the hierarchical balancer.
+type Strategy struct {
+	// Fanout is the tree arity (children per node); ranks are leaves.
+	Fanout int
+	// Preference selects the donor task ordering.
+	Preference Preference
+	// Tolerance stops trading once a subtree is within this relative
+	// distance of its share (default 2%).
+	Tolerance float64
+}
+
+// New returns a HierLB with the given fanout (must be >= 2).
+func New(fanout int) *Strategy {
+	return &Strategy{Fanout: fanout, Tolerance: 0.02}
+}
+
+// Name implements lb.Strategy.
+func (s *Strategy) Name() string { return "HierLB" }
+
+// Rebalance implements lb.Strategy.
+func (s *Strategy) Rebalance(a *core.Assignment) (*lb.Plan, error) {
+	if s.Fanout < 2 {
+		return nil, fmt.Errorf("hier: fanout must be >= 2, got %d", s.Fanout)
+	}
+	tol := s.Tolerance
+	if tol <= 0 {
+		tol = 0.02
+	}
+	w := &worker{
+		a:        a,
+		pref:     s.Preference,
+		fanout:   s.Fanout,
+		tol:      tol,
+		proposed: a.Owners(),
+		loads:    a.RankLoads(),
+		tasks:    make([][]core.Task, a.NumRanks()),
+	}
+	for r := 0; r < a.NumRanks(); r++ {
+		w.tasks[r] = a.TasksOf(core.Rank(r))
+	}
+	w.ave = a.AveLoad()
+	w.balance(0, a.NumRanks())
+	// Message cost: one gather and one scatter along every tree edge,
+	// plus one message per executed move. Each tree level is a
+	// sequential phase up and another down — the Ω(log P) critical path
+	// of hierarchical schemes (§IV-A).
+	edges, levels := 0, 0
+	for span := a.NumRanks(); span > 1; span = (span + s.Fanout - 1) / s.Fanout {
+		edges += span
+		levels++
+	}
+	plan := lb.PlanFromOwners(a, w.proposed, 2*edges+w.moves)
+	plan.Epochs = 3 * levels
+	return plan, nil
+}
+
+type worker struct {
+	a        *core.Assignment
+	pref     Preference
+	fanout   int
+	tol      float64
+	ave      float64
+	proposed []core.Rank
+	loads    []float64
+	tasks    [][]core.Task
+	moves    int
+}
+
+// balance recursively equalizes the subtree covering ranks [lo, hi).
+func (w *worker) balance(lo, hi int) {
+	n := hi - lo
+	if n <= 1 {
+		return
+	}
+	// Split into up to fanout children of near-equal width.
+	children := splitRange(lo, hi, w.fanout)
+	w.tradeAmongChildren(children)
+	for _, c := range children {
+		w.balance(c[0], c[1])
+	}
+}
+
+// tradeAmongChildren moves tasks from children above their proportional
+// share to children below it.
+func (w *worker) tradeAmongChildren(children [][2]int) {
+	type childState struct{ lo, hi int }
+	var cs []childState
+	for _, c := range children {
+		cs = append(cs, childState{c[0], c[1]})
+	}
+	childLoad := func(c childState) float64 {
+		sum := 0.0
+		for r := c.lo; r < c.hi; r++ {
+			sum += w.loads[r]
+		}
+		return sum
+	}
+	target := func(c childState) float64 { return w.ave * float64(c.hi-c.lo) }
+
+	guard := w.a.NumTasks() + 1
+	for iter := 0; iter < guard; iter++ {
+		// Locate the most-overloaded and most-underloaded children.
+		overIdx, underIdx := -1, -1
+		var overAmt, underAmt float64
+		for i, c := range cs {
+			d := childLoad(c) - target(c)
+			if d > overAmt {
+				overAmt, overIdx = d, i
+			}
+			if -d > underAmt {
+				underAmt, underIdx = -d, i
+			}
+		}
+		if overIdx < 0 || underIdx < 0 {
+			return
+		}
+		if overAmt <= w.tol*w.ave*float64(cs[overIdx].hi-cs[overIdx].lo) {
+			return
+		}
+		task, from, ok := w.pickDonorTask(cs[overIdx].lo, cs[overIdx].hi, overAmt, underAmt)
+		if !ok {
+			return
+		}
+		to := w.lightestRank(cs[underIdx].lo, cs[underIdx].hi)
+		w.moveTask(task, from, to)
+	}
+}
+
+// pickDonorTask chooses a task to move out of the subtree [lo,hi)
+// holding excess overAmt toward a subtree missing underAmt. The task
+// comes from the subtree's most loaded rank; the preference decides the
+// ordering among candidates. A move is only offered when it does not
+// overshoot: the task must not exceed the smaller of the excess and the
+// deficit plus tolerance (so trading terminates).
+func (w *worker) pickDonorTask(lo, hi int, overAmt, underAmt float64) (core.Task, int, bool) {
+	limit := overAmt
+	if underAmt < limit {
+		limit = underAmt
+	}
+	limit *= 1 + w.tol
+	better := func(cand, cur core.Task) bool {
+		switch w.pref {
+		case PreferHeavy:
+			return cand.Load > cur.Load
+		case PreferLight:
+			return cand.Load < cur.Load
+		default: // PreferBestFit: largest not exceeding the limit
+			return cand.Load > cur.Load
+		}
+	}
+	// Prefer the most loaded rank; fall back to the others in descending
+	// load order so a rank holding only oversized tasks does not stall
+	// the whole trade.
+	order := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if w.loads[order[i]] != w.loads[order[j]] {
+			return w.loads[order[i]] > w.loads[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, from := range order {
+		var best core.Task
+		found := false
+		for _, task := range w.tasks[from] {
+			if task.Load <= 0 || task.Load > limit {
+				continue
+			}
+			if !found || better(task, best) {
+				best, found = task, true
+			}
+		}
+		if found {
+			return best, from, true
+		}
+	}
+	return core.Task{}, 0, false
+}
+
+func (w *worker) lightestRank(lo, hi int) int {
+	best := lo
+	for r := lo + 1; r < hi; r++ {
+		if w.loads[r] < w.loads[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+func (w *worker) moveTask(task core.Task, from, to int) {
+	w.proposed[task.ID] = core.Rank(to)
+	w.loads[from] -= task.Load
+	w.loads[to] += task.Load
+	w.moves++
+	list := w.tasks[from]
+	for i := range list {
+		if list[i].ID == task.ID {
+			list[i] = list[len(list)-1]
+			w.tasks[from] = list[:len(list)-1]
+			break
+		}
+	}
+	w.tasks[to] = append(w.tasks[to], task)
+	// Keep donor lists deterministic after the swap-delete.
+	sort.Slice(w.tasks[from], func(i, j int) bool { return w.tasks[from][i].ID < w.tasks[from][j].ID })
+}
+
+// splitRange divides [lo,hi) into up to k near-equal contiguous chunks.
+func splitRange(lo, hi, k int) [][2]int {
+	n := hi - lo
+	if k > n {
+		k = n
+	}
+	var out [][2]int
+	start := lo
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}

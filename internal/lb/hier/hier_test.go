@@ -1,0 +1,163 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func skewed(p, hot, n int, seed int64) *core.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := core.NewAssignment(p)
+	for i := 0; i < n; i++ {
+		a.Add(0.2+rng.Float64(), core.Rank(rng.Intn(hot)))
+	}
+	return a
+}
+
+func TestHierImprovesSkewedLoad(t *testing.T) {
+	a := skewed(16, 2, 400, 1)
+	plan, err := New(4).Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InitialImbalance < 3 {
+		t.Fatalf("workload not skewed enough: %g", plan.InitialImbalance)
+	}
+	if plan.FinalImbalance > 0.2 {
+		t.Errorf("HierLB left I = %g, want < 0.2", plan.FinalImbalance)
+	}
+}
+
+func TestHierManyRanks(t *testing.T) {
+	a := skewed(64, 4, 3000, 2)
+	plan, err := New(8).Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FinalImbalance > 0.3 {
+		t.Errorf("I = %g after HierLB on 64 ranks", plan.FinalImbalance)
+	}
+}
+
+func TestHierNonPowerOfTwoRanks(t *testing.T) {
+	a := skewed(13, 3, 300, 3)
+	plan, err := New(3).Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FinalImbalance >= plan.InitialImbalance {
+		t.Errorf("no improvement: %g -> %g", plan.InitialImbalance, plan.FinalImbalance)
+	}
+	plan.Apply(a)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierRejectsBadFanout(t *testing.T) {
+	a := skewed(4, 1, 10, 4)
+	if _, err := New(1).Rebalance(a); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestHierPreferencesDiffer(t *testing.T) {
+	mk := func() *core.Assignment { return skewed(16, 2, 200, 5) }
+	heavy := New(4)
+	heavy.Preference = PreferHeavy
+	light := New(4)
+	light.Preference = PreferLight
+	ph, _ := heavy.Rebalance(mk())
+	pl, _ := light.Rebalance(mk())
+	// PreferLight needs more (smaller) moves to shift the same load.
+	if pl.MovedTasks() <= ph.MovedTasks() {
+		t.Errorf("light moves %d, heavy moves %d: expected light > heavy",
+			pl.MovedTasks(), ph.MovedTasks())
+	}
+}
+
+func TestHierDeterministic(t *testing.T) {
+	p1, _ := New(4).Rebalance(skewed(16, 2, 200, 6))
+	p2, _ := New(4).Rebalance(skewed(16, 2, 200, 6))
+	if len(p1.Moves) != len(p2.Moves) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range p1.Moves {
+		if p1.Moves[i] != p2.Moves[i] {
+			t.Fatal("moves differ")
+		}
+	}
+}
+
+func TestHierDoesNotMutateInput(t *testing.T) {
+	a := skewed(8, 1, 100, 7)
+	owners := a.Owners()
+	New(2).Rebalance(a)
+	after := a.Owners()
+	for i := range owners {
+		if owners[i] != after[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestHierBalancedInputFewMoves(t *testing.T) {
+	a := core.NewAssignment(8)
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 10; i++ {
+			a.Add(1, core.Rank(r))
+		}
+	}
+	plan, err := New(2).Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedTasks() != 0 {
+		t.Errorf("balanced input moved %d tasks", plan.MovedTasks())
+	}
+}
+
+func TestHierSingleRank(t *testing.T) {
+	a := core.NewAssignment(1)
+	a.Add(5, 0)
+	plan, err := New(2).Rebalance(a)
+	if err != nil || plan.MovedTasks() != 0 {
+		t.Errorf("single rank: %+v %v", plan, err)
+	}
+}
+
+func TestHierMessagesPositive(t *testing.T) {
+	a := skewed(16, 2, 100, 8)
+	plan, _ := New(4).Rebalance(a)
+	if plan.Messages <= 0 {
+		t.Errorf("messages = %d", plan.Messages)
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	cases := []struct {
+		lo, hi, k int
+		want      int
+	}{
+		{0, 10, 2, 2}, {0, 10, 3, 3}, {0, 3, 8, 3}, {5, 6, 4, 1},
+	}
+	for _, c := range cases {
+		got := splitRange(c.lo, c.hi, c.k)
+		if len(got) != c.want {
+			t.Errorf("splitRange(%d,%d,%d) = %v", c.lo, c.hi, c.k, got)
+		}
+		// Chunks must tile the range exactly.
+		at := c.lo
+		for _, ch := range got {
+			if ch[0] != at || ch[1] <= ch[0] {
+				t.Errorf("bad chunk %v in %v", ch, got)
+			}
+			at = ch[1]
+		}
+		if at != c.hi {
+			t.Errorf("chunks do not cover range: %v", got)
+		}
+	}
+}

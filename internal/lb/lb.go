@@ -1,0 +1,92 @@
+// Package lb defines the load balancing strategy interface shared by
+// the centralized, hierarchical and distributed balancers, plus the
+// cost accounting the experiment harness charges for running them.
+package lb
+
+import (
+	"fmt"
+
+	"temperedlb/internal/core"
+)
+
+// Plan is the outcome of one rebalancing decision: the task moves to
+// execute and the accounting needed to charge its cost.
+type Plan struct {
+	// Moves relocate tasks; applying them to the input assignment yields
+	// the strategy's proposed distribution.
+	Moves []core.Move
+	// FinalImbalance is I of the proposed distribution.
+	FinalImbalance float64
+	// InitialImbalance is I of the input distribution.
+	InitialImbalance float64
+	// Messages is the number of algorithm messages the strategy would
+	// exchange on a real machine (gossip, gather/scatter, tree traffic).
+	Messages int
+	// Epochs counts the strategy's sequential communication phases —
+	// gossip/transfer epochs under termination detection for the
+	// distributed balancers, gather/scatter rounds for the centralized
+	// and tree levels for the hierarchical one. Each contributes
+	// latency to the critical path regardless of message volume.
+	Epochs int
+	// MovedLoad is the total instrumented load of the moved tasks, a
+	// proxy for migration volume.
+	MovedLoad float64
+}
+
+// MovedTasks returns the number of tasks the plan relocates.
+func (p *Plan) MovedTasks() int { return len(p.Moves) }
+
+// Apply commits the plan's moves to the assignment.
+func (p *Plan) Apply(a *core.Assignment) {
+	for _, m := range p.Moves {
+		a.Move(m.Task, m.To)
+	}
+}
+
+// Strategy computes task relocations for an overdecomposed workload.
+// Implementations must treat the assignment as read-only.
+type Strategy interface {
+	// Name identifies the strategy in tables and plots.
+	Name() string
+	// Rebalance proposes moves for the current instrumented loads.
+	Rebalance(a *core.Assignment) (*Plan, error)
+}
+
+// Reseeder is implemented by randomized strategies whose seed the
+// experiment harness refreshes before every invocation.
+type Reseeder interface {
+	Reseed(seed int64)
+}
+
+// planFromOwners diffs an original assignment against a proposed owner
+// vector and assembles the plan (shared by the concrete strategies).
+func PlanFromOwners(a *core.Assignment, proposed []core.Rank, messages int) *Plan {
+	if len(proposed) != a.NumTasks() {
+		panic(fmt.Sprintf("lb: owner vector length %d, want %d", len(proposed), a.NumTasks()))
+	}
+	plan := &Plan{
+		InitialImbalance: a.Imbalance(),
+		Messages:         messages,
+	}
+	loads := make([]float64, a.NumRanks())
+	orig := a.Owners()
+	for id, to := range proposed {
+		tid := core.TaskID(id)
+		loads[to] += a.Load(tid)
+		if orig[id] != to {
+			plan.Moves = append(plan.Moves, core.Move{Task: tid, From: orig[id], To: to})
+			plan.MovedLoad += a.Load(tid)
+		}
+	}
+	max, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum > 0 {
+		plan.FinalImbalance = max/(sum/float64(a.NumRanks())) - 1
+	}
+	return plan
+}

@@ -1,0 +1,73 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func TestPlanFromOwnersDiff(t *testing.T) {
+	a := core.NewAssignment(4)
+	t0 := a.Add(2, 0)
+	t1 := a.Add(3, 0)
+	t2 := a.Add(1, 1)
+	proposed := []core.Rank{0, 2, 3} // move t1 to 2, t2 to 3
+	plan := PlanFromOwners(a, proposed, 7)
+	if plan.MovedTasks() != 2 {
+		t.Fatalf("moves = %d", plan.MovedTasks())
+	}
+	if plan.Messages != 7 {
+		t.Errorf("messages = %d", plan.Messages)
+	}
+	if math.Abs(plan.MovedLoad-4) > 1e-12 {
+		t.Errorf("MovedLoad = %g, want 4", plan.MovedLoad)
+	}
+	// Proposed loads: r0=2, r1=0, r2=3, r3=1; ave=1.5, I=1.
+	if math.Abs(plan.FinalImbalance-1) > 1e-12 {
+		t.Errorf("FinalImbalance = %g, want 1", plan.FinalImbalance)
+	}
+	if plan.InitialImbalance <= plan.FinalImbalance {
+		t.Errorf("initial %g should exceed final %g", plan.InitialImbalance, plan.FinalImbalance)
+	}
+	_ = t0
+	_ = t1
+	_ = t2
+}
+
+func TestPlanApply(t *testing.T) {
+	a := core.NewAssignment(3)
+	a.Add(1, 0)
+	a.Add(1, 0)
+	plan := PlanFromOwners(a, []core.Rank{1, 2}, 0)
+	plan.Apply(a)
+	if a.RankLoad(0) != 0 || a.RankLoad(1) != 1 || a.RankLoad(2) != 1 {
+		t.Errorf("apply wrong: %v", a.RankLoads())
+	}
+	if got := a.Imbalance(); math.Abs(got-plan.FinalImbalance) > 1e-12 {
+		t.Errorf("applied I %g != plan %g", got, plan.FinalImbalance)
+	}
+}
+
+func TestPlanFromOwnersNoMoves(t *testing.T) {
+	a := core.NewAssignment(2)
+	a.Add(1, 0)
+	plan := PlanFromOwners(a, []core.Rank{0}, 0)
+	if plan.MovedTasks() != 0 || plan.MovedLoad != 0 {
+		t.Errorf("phantom moves: %+v", plan)
+	}
+	if plan.FinalImbalance != plan.InitialImbalance {
+		t.Error("imbalance changed with no moves")
+	}
+}
+
+func TestPlanFromOwnersLengthMismatchPanics(t *testing.T) {
+	a := core.NewAssignment(2)
+	a.Add(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PlanFromOwners(a, []core.Rank{0, 1}, 0)
+}

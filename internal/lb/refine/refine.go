@@ -1,0 +1,183 @@
+// Package refine implements a RefineLB-style incremental balancer in
+// the tradition of Charm++'s refinement strategies: instead of
+// reassigning every task (GreedyLB), it only peels work off ranks above
+// a tolerance of the average, placing each moved task on the currently
+// least-loaded rank. Quality is slightly below LPT but migration volume
+// is minimal — a useful foil for the gossip balancers' migration
+// accounting.
+package refine
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lb"
+)
+
+// Strategy is the incremental refinement balancer.
+type Strategy struct {
+	// Tolerance is the relative overload allowed to remain: ranks are
+	// refined until load <= (1+Tolerance)·ave or no candidate move
+	// remains. Default 0.05.
+	Tolerance float64
+}
+
+// New returns a RefineLB with the default 5% tolerance.
+func New() *Strategy { return &Strategy{Tolerance: 0.05} }
+
+// Name implements lb.Strategy.
+func (*Strategy) Name() string { return "RefineLB" }
+
+// Rebalance implements lb.Strategy.
+func (s *Strategy) Rebalance(a *core.Assignment) (*lb.Plan, error) {
+	tol := s.Tolerance
+	if tol < 0 {
+		return nil, fmt.Errorf("refine: negative tolerance %g", tol)
+	}
+	n := a.NumRanks()
+	ave := a.AveLoad()
+	limit := (1 + tol) * ave
+
+	proposed := a.Owners()
+	loads := a.RankLoads()
+
+	// Donor task lists sorted descending by load, per rank.
+	tasks := make([][]core.Task, n)
+	for r := 0; r < n; r++ {
+		ts := a.TasksOf(core.Rank(r))
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].Load != ts[j].Load {
+				return ts[i].Load > ts[j].Load
+			}
+			return ts[i].ID < ts[j].ID
+		})
+		tasks[r] = ts
+	}
+
+	// Min-heap over rank loads for recipient selection.
+	h := make(rankHeap, n)
+	for r := range h {
+		h[r] = rankLoad{rank: core.Rank(r), load: loads[r]}
+	}
+	heap.Init(&h)
+
+	moves := 0
+	guard := a.NumTasks() + 1
+	for iter := 0; iter < guard; iter++ {
+		// Most overloaded rank.
+		donor, worst := -1, limit
+		for r := 0; r < n; r++ {
+			if loads[r] > worst {
+				worst, donor = loads[r], r
+			}
+		}
+		if donor < 0 {
+			break
+		}
+		recipient := h.peekOther(core.Rank(donor))
+		if recipient < 0 {
+			break
+		}
+		// Largest task that does not push the recipient above the
+		// limit; fall back to the donor's smallest task if none fits
+		// but moving it still helps.
+		task, ok := pickTask(tasks[donor], limit-loads[recipient], loads[donor]-loads[recipient])
+		if !ok {
+			break
+		}
+		// Execute the move.
+		proposed[task.ID] = core.Rank(recipient)
+		loads[donor] -= task.Load
+		loads[recipient] += task.Load
+		tasks[donor] = removeTask(tasks[donor], task.ID)
+		moves++
+		h.update(core.Rank(donor), loads[donor])
+		h.update(core.Rank(recipient), loads[recipient])
+	}
+
+	plan := lb.PlanFromOwners(a, proposed, 2*(n-1)+moves)
+	plan.Epochs = 2
+	return plan, nil
+}
+
+// pickTask selects the task to move: the largest whose load fits within
+// fit (keeping the recipient under the limit); failing that, the
+// smallest task, provided moving it still narrows the donor/recipient
+// gap (load < gap, the Lemma-1 condition, so the maximum cannot grow).
+func pickTask(ts []core.Task, fit, gap float64) (core.Task, bool) {
+	// ts is sorted descending: first task with load <= fit is the
+	// largest fitting one.
+	for _, task := range ts {
+		if task.Load <= fit && task.Load > 0 {
+			return task, true
+		}
+	}
+	if len(ts) == 0 {
+		return core.Task{}, false
+	}
+	smallest := ts[len(ts)-1]
+	if smallest.Load > 0 && smallest.Load < gap {
+		return smallest, true
+	}
+	return core.Task{}, false
+}
+
+func removeTask(ts []core.Task, id core.TaskID) []core.Task {
+	for i := range ts {
+		if ts[i].ID == id {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+type rankLoad struct {
+	rank core.Rank
+	load float64
+}
+
+type rankHeap []rankLoad
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(rankLoad)) }
+func (h *rankHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// peekOther returns the least-loaded rank other than exclude, or -1.
+func (h rankHeap) peekOther(exclude core.Rank) int {
+	if len(h) == 0 {
+		return -1
+	}
+	if h[0].rank != exclude {
+		return int(h[0].rank)
+	}
+	best := -1
+	for i := 1; i < len(h); i++ {
+		if best < 0 || h.Less(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return int(h[best].rank)
+}
+
+// update adjusts a rank's load in place and restores heap order.
+func (h *rankHeap) update(r core.Rank, load float64) {
+	for i := range *h {
+		if (*h)[i].rank == r {
+			(*h)[i].load = load
+			heap.Fix(h, i)
+			return
+		}
+	}
+}

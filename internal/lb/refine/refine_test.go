@@ -1,0 +1,158 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lb/greedy"
+)
+
+func skewed(p, hot, n int, seed int64) *core.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := core.NewAssignment(p)
+	for i := 0; i < n; i++ {
+		a.Add(0.2+rng.Float64(), core.Rank(rng.Intn(hot)))
+	}
+	return a
+}
+
+func TestRefineReachesTolerance(t *testing.T) {
+	a := skewed(16, 2, 400, 1)
+	plan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FinalImbalance > 0.06 {
+		t.Errorf("final I = %g, want <= tolerance 0.05 (+slack)", plan.FinalImbalance)
+	}
+	plan.Apply(a)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineMovesLessThanGreedy(t *testing.T) {
+	// The point of refinement: on an ALREADY mostly balanced input it
+	// must barely move anything, where greedy reshuffles everything.
+	rng := rand.New(rand.NewSource(2))
+	a := core.NewAssignment(16)
+	for i := 0; i < 800; i++ {
+		a.Add(0.5+rng.Float64(), core.Rank(i%16))
+	}
+	// Perturb one rank upward.
+	for i := 0; i < 30; i++ {
+		a.Add(1.0, 3)
+	}
+	refinePlan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyPlan, err := greedy.New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refinePlan.MovedTasks() >= greedyPlan.MovedTasks()/4 {
+		t.Errorf("refine moved %d, greedy %d: refinement not incremental",
+			refinePlan.MovedTasks(), greedyPlan.MovedTasks())
+	}
+	if refinePlan.FinalImbalance > 0.1 {
+		t.Errorf("refine left I = %g", refinePlan.FinalImbalance)
+	}
+}
+
+func TestRefineBalancedInputNoMoves(t *testing.T) {
+	a := core.NewAssignment(8)
+	for r := 0; r < 8; r++ {
+		a.Add(1, core.Rank(r))
+	}
+	plan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedTasks() != 0 {
+		t.Errorf("moved %d tasks on balanced input", plan.MovedTasks())
+	}
+}
+
+func TestRefineSingleHeavyTask(t *testing.T) {
+	// One indivisible heavy task: nothing useful to do, must terminate
+	// without thrashing.
+	a := core.NewAssignment(4)
+	a.Add(100, 0)
+	a.Add(1, 1)
+	plan, err := New().Rebalance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy task may move to the emptiest rank once at most; it
+	// cannot reduce the max.
+	if plan.MovedTasks() > 1 {
+		t.Errorf("thrash: %d moves", plan.MovedTasks())
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	a := skewed(8, 1, 100, 3)
+	owners := a.Owners()
+	if _, err := New().Rebalance(a); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range a.Owners() {
+		if owners[i] != o {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	p1, _ := New().Rebalance(skewed(16, 2, 300, 4))
+	p2, _ := New().Rebalance(skewed(16, 2, 300, 4))
+	if len(p1.Moves) != len(p2.Moves) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range p1.Moves {
+		if p1.Moves[i] != p2.Moves[i] {
+			t.Fatal("moves differ")
+		}
+	}
+}
+
+func TestRefineNegativeToleranceRejected(t *testing.T) {
+	s := &Strategy{Tolerance: -1}
+	if _, err := s.Rebalance(skewed(4, 1, 10, 5)); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestRefineEmpty(t *testing.T) {
+	a := core.NewAssignment(4)
+	plan, err := New().Rebalance(a)
+	if err != nil || plan.MovedTasks() != 0 {
+		t.Errorf("empty: %v %v", plan, err)
+	}
+}
+
+func TestRefineName(t *testing.T) {
+	if New().Name() != "RefineLB" {
+		t.Error("name")
+	}
+}
+
+func TestRefineNeverIncreasesImbalanceProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := core.NewAssignment(2 + rng.Intn(14))
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			a.Add(rng.Float64()*3, core.Rank(rng.Intn(a.NumRanks())))
+		}
+		plan, err := New().Rebalance(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.FinalImbalance > plan.InitialImbalance+1e-9 {
+			t.Fatalf("seed %d: I worsened %g -> %g", seed, plan.InitialImbalance, plan.FinalImbalance)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package tempered
+
+import (
+	"sort"
+
+	"temperedlb/internal/amt"
+	"temperedlb/internal/core"
+)
+
+// Handlers bundles the active-message handlers the distributed balancer
+// needs. Register them on the runtime before Run, then hand the value to
+// RunDistributed on every rank.
+type Handlers struct {
+	gossip amt.HandlerID
+	xfer   amt.HandlerID
+	fetch  amt.HandlerID
+	st     []*rankState
+}
+
+// rankState is the per-rank balancer state touched by handlers; every
+// handler runs on the owning rank's goroutine, so no locking is needed.
+type rankState struct {
+	inform  *core.InformState
+	virtual map[amt.ObjectID]float64
+}
+
+// xferMsg proposes one task relocation: the sender cedes the (virtual)
+// task to the receiver for the current refinement iteration.
+type xferMsg struct {
+	Obj  amt.ObjectID
+	Load float64
+}
+
+// RegisterHandlers installs the balancer's handlers on the runtime. The
+// base handler id space must not collide with the application's; pass a
+// free base id.
+func RegisterHandlers(rt *amt.Runtime, base amt.HandlerID) *Handlers {
+	h := &Handlers{
+		gossip: base,
+		xfer:   base + 1,
+		fetch:  base + 2,
+		st:     make([]*rankState, rt.NumRanks()),
+	}
+	for r := range h.st {
+		h.st[r] = &rankState{}
+	}
+	rt.Register(h.gossip, func(rc *amt.Context, from core.Rank, data any) {
+		st := h.st[rc.Rank()]
+		if st.inform == nil {
+			panic("tempered: gossip before iteration setup")
+		}
+		sends, _ := st.inform.Receive(data.(core.InformMsg))
+		for _, s := range sends {
+			rc.Send(s.To, h.gossip, s.Msg)
+		}
+	})
+	rt.Register(h.xfer, func(rc *amt.Context, from core.Rank, data any) {
+		m := data.(xferMsg)
+		h.st[rc.Rank()].virtual[m.Obj] = m.Load
+	})
+	rt.RegisterObject(h.fetch, func(rc *amt.Context, obj amt.ObjectID, state any, from core.Rank, data any) {
+		rc.Migrate(obj, data.(core.Rank))
+	})
+	return h
+}
+
+// DistResult reports a distributed LB invocation from one rank's
+// perspective; the imbalance fields are identical on every rank.
+type DistResult struct {
+	InitialImbalance float64
+	FinalImbalance   float64
+	BestTrial        int
+	BestIteration    int
+	// Migrations and MigrationBytes count the objects this rank shipped
+	// out while committing the chosen distribution.
+	Migrations     int
+	MigrationBytes int
+}
+
+// RunDistributed executes the full TemperedLB protocol on the calling
+// rank: the statistics all-reduce, then Trials×Iterations of (gossip
+// epoch, transfer epoch, imbalance all-reduce) over a virtual working
+// set, and finally a commit epoch that migrates the real objects into
+// the best distribution found (Algorithm 3's deferred transfers). All
+// ranks must call it collectively with their local instrumented loads.
+func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt.ObjectID]float64) (DistResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return DistResult{}, err
+	}
+	self := rc.Rank()
+	n := rc.NumRanks()
+	st := h.st[self]
+
+	sumLoad := func(w map[amt.ObjectID]float64) float64 {
+		s := 0.0
+		for _, l := range w {
+			s += l
+		}
+		return s
+	}
+	ownLoad := sumLoad(loads)
+	total := rc.AllReduce(ownLoad, amt.ReduceSum)
+	ave := total / float64(n)
+	res := DistResult{
+		InitialImbalance: imbalance(rc.AllReduce(ownLoad, amt.ReduceMax), ave),
+	}
+	res.FinalImbalance = res.InitialImbalance
+	if total == 0 {
+		return res, nil
+	}
+
+	best := copyWorking(loads)
+	migBefore, bytesBefore := rc.Stats.Migrations, rc.Stats.MigrationBytes
+
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		st.virtual = copyWorking(loads) // Algorithm 3 line 3
+		gossipRNG := core.SeededRNG(cfg.Seed, int64(trial), int64(self), 0x60551f)
+		xferRNG := core.SeededRNG(cfg.Seed, int64(trial), int64(self), 0x7af)
+
+		for iter := 1; iter <= cfg.Iterations; iter++ {
+			// Inform stage: asynchronous gossip under termination
+			// detection — no synchronized rounds (§IV-B).
+			st.inform = core.NewInformState(self, n, &cfg, gossipRNG)
+			rc.Epoch(func() {
+				for _, s := range st.inform.Begin(ave, sumLoad(st.virtual)) {
+					rc.Send(s.To, h.gossip, s.Msg)
+				}
+			})
+
+			// Transfer stage: every overloaded rank works concurrently
+			// with its gossip-stale knowledge.
+			rc.Epoch(func() {
+				load := sumLoad(st.virtual)
+				if load <= cfg.Threshold*ave {
+					return
+				}
+				tasks, ids := virtualTasks(st.virtual)
+				props, _, _ := core.RunTransfer(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG)
+				for _, p := range props {
+					obj := ids[p.Task]
+					rc.Send(p.To, h.xfer, xferMsg{Obj: obj, Load: st.virtual[obj]})
+					delete(st.virtual, obj)
+				}
+			})
+
+			// Evaluate the proposed distribution (Algorithm 3 line 9).
+			iterI := imbalance(rc.AllReduce(sumLoad(st.virtual), amt.ReduceMax), ave)
+			if iterI < res.FinalImbalance {
+				res.FinalImbalance = iterI
+				res.BestTrial, res.BestIteration = trial, iter
+				best = copyWorking(st.virtual)
+			}
+		}
+	}
+	st.inform = nil
+
+	// Commit (Algorithm 3 line 13): the chosen owner of each task pulls
+	// it from wherever it actually lives; routing and forwarding handle
+	// in-flight races, and the epoch ends only after every migration and
+	// location update has landed.
+	rc.Epoch(func() {
+		for obj := range best {
+			if !rc.HasObject(obj) {
+				rc.SendObject(obj, h.fetch, self)
+			}
+		}
+	})
+	res.Migrations = rc.Stats.Migrations - migBefore
+	res.MigrationBytes = rc.Stats.MigrationBytes - bytesBefore
+	return res, nil
+}
+
+// virtualTasks flattens the working set into core tasks with dense local
+// ids, deterministically ordered, plus the reverse mapping.
+func virtualTasks(w map[amt.ObjectID]float64) ([]core.Task, []amt.ObjectID) {
+	ids := make([]amt.ObjectID, 0, len(w))
+	for obj := range w {
+		ids = append(ids, obj)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	tasks := make([]core.Task, len(ids))
+	for i, obj := range ids {
+		tasks[i] = core.Task{ID: core.TaskID(i), Load: w[obj]}
+	}
+	return tasks, ids
+}
+
+func copyWorking(w map[amt.ObjectID]float64) map[amt.ObjectID]float64 {
+	c := make(map[amt.ObjectID]float64, len(w))
+	for k, v := range w {
+		c[k] = v
+	}
+	return c
+}
+
+func imbalance(max, ave float64) float64 {
+	if ave == 0 {
+		return 0
+	}
+	return max/ave - 1
+}

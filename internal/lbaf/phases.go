@@ -1,0 +1,98 @@
+package lbaf
+
+import (
+	"fmt"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/lb"
+	"temperedlb/internal/workload"
+)
+
+// PhaseStudyResult summarizes a multi-phase strategy study.
+type PhaseStudyResult struct {
+	// AchievedTime is the accumulated virtual time: per phase, the
+	// maximum per-rank load under the mapping in force.
+	AchievedTime float64
+	// IdealTime is the unattainable floor: per phase, the average rank
+	// load (perfect instantaneous balance).
+	IdealTime float64
+	// StaticTime is the no-LB baseline: the initial mapping held fixed.
+	StaticTime float64
+	// Rebalances counts LB invocations; MovedTasks their total moves.
+	Rebalances int
+	MovedTasks int
+}
+
+// Efficiency is IdealTime/AchievedTime in (0,1]: 1 means every phase
+// ran perfectly balanced.
+func (r PhaseStudyResult) Efficiency() float64 {
+	if r.AchievedTime == 0 {
+		return 1
+	}
+	return r.IdealTime / r.AchievedTime
+}
+
+// Speedup is StaticTime/AchievedTime: the gain over never balancing.
+func (r PhaseStudyResult) Speedup() float64 {
+	if r.AchievedTime == 0 {
+		return 1
+	}
+	return r.StaticTime / r.AchievedTime
+}
+
+// RunPhaseStudy drives a strategy over an evolving workload for the
+// given number of phases, rebalancing every period phases. Crucially,
+// each LB decision is computed from the loads of the phase that just
+// finished and applied to the following phases — the instrumentation
+// staleness the principle of persistence (§III-B) is about. With highly
+// persistent loads the stale decision stays good; as persistence drops
+// the decision decays immediately, and efficiency falls toward the
+// static baseline's.
+func RunPhaseStudy(a *core.Assignment, ev *workload.Evolver, strat lb.Strategy, phases, period int) (PhaseStudyResult, error) {
+	if phases < 1 || period < 1 {
+		return PhaseStudyResult{}, fmt.Errorf("lbaf: phases %d and period %d must be >= 1", phases, period)
+	}
+	var res PhaseStudyResult
+	work := a.Clone()
+	staticOwners := a.Owners()
+
+	for p := 1; p <= phases; p++ {
+		loads := ev.Step()
+		maxRank, sum := 0.0, 0.0
+		staticLoads := make([]float64, a.NumRanks())
+		for i, l := range loads {
+			id := core.TaskID(i)
+			work.SetLoad(id, l)
+			staticLoads[staticOwners[i]] += l
+			sum += l
+		}
+		for r := 0; r < work.NumRanks(); r++ {
+			if l := work.RankLoad(core.Rank(r)); l > maxRank {
+				maxRank = l
+			}
+		}
+		staticMax := 0.0
+		for _, l := range staticLoads {
+			if l > staticMax {
+				staticMax = l
+			}
+		}
+		res.AchievedTime += maxRank
+		res.StaticTime += staticMax
+		res.IdealTime += sum / float64(work.NumRanks())
+
+		if p%period == 0 {
+			if r, ok := strat.(lb.Reseeder); ok {
+				r.Reseed(int64(p) * 31)
+			}
+			plan, err := strat.Rebalance(work)
+			if err != nil {
+				return res, err
+			}
+			plan.Apply(work)
+			res.Rebalances++
+			res.MovedTasks += plan.MovedTasks()
+		}
+	}
+	return res, nil
+}

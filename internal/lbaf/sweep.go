@@ -1,0 +1,114 @@
+package lbaf
+
+import (
+	"fmt"
+	"io"
+
+	"temperedlb/internal/core"
+	"temperedlb/internal/workload"
+)
+
+// SweepPoint is one cell of a parameter sweep: the configuration values
+// swept plus the outcome.
+type SweepPoint struct {
+	Label          string
+	FinalImbalance float64
+	GossipMessages int
+	GossipEntries  int
+	Transfers      int
+}
+
+// Sweep holds the results of running the engine across a set of
+// configurations on the same workload.
+type Sweep struct {
+	Title  string
+	Points []SweepPoint
+}
+
+// RunSweep evaluates each labeled configuration on a fresh copy of the
+// generated workload, so every point starts from the identical initial
+// distribution.
+func RunSweep(title string, spec workload.Spec, configs []struct {
+	Label string
+	Cfg   core.Config
+}) (Sweep, error) {
+	a, err := workload.Generate(spec)
+	if err != nil {
+		return Sweep{}, err
+	}
+	sw := Sweep{Title: title}
+	for _, c := range configs {
+		eng, err := core.NewEngine(c.Cfg)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("lbaf: sweep %q: %w", c.Label, err)
+		}
+		res, err := eng.Run(a)
+		if err != nil {
+			return Sweep{}, err
+		}
+		pt := SweepPoint{Label: c.Label, FinalImbalance: res.FinalImbalance}
+		for _, it := range res.History {
+			pt.GossipMessages += it.GossipMessages
+			pt.GossipEntries += it.GossipEntries
+			pt.Transfers += it.Transfers
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// GossipSweepConfigs builds the fanout/rounds grid of the footnote-2
+// study on top of a base configuration.
+func GossipSweepConfigs(base core.Config, fanouts, rounds []int) []struct {
+	Label string
+	Cfg   core.Config
+} {
+	var out []struct {
+		Label string
+		Cfg   core.Config
+	}
+	for _, f := range fanouts {
+		for _, k := range rounds {
+			cfg := base
+			cfg.Fanout, cfg.Rounds = f, k
+			out = append(out, struct {
+				Label string
+				Cfg   core.Config
+			}{fmt.Sprintf("f=%d k=%d", f, k), cfg})
+		}
+	}
+	return out
+}
+
+// RefinementSweepConfigs builds the trials/iterations grid of the
+// Algorithm-3 budget study.
+func RefinementSweepConfigs(base core.Config, trials, iters []int) []struct {
+	Label string
+	Cfg   core.Config
+} {
+	var out []struct {
+		Label string
+		Cfg   core.Config
+	}
+	for _, tr := range trials {
+		for _, it := range iters {
+			cfg := base
+			cfg.Trials, cfg.Iterations = tr, it
+			out = append(out, struct {
+				Label string
+				Cfg   core.Config
+			}{fmt.Sprintf("trials=%d iters=%d", tr, it), cfg})
+		}
+	}
+	return out
+}
+
+// Render writes the sweep as a table.
+func (s Sweep) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", s.Title)
+	fmt.Fprintf(w, "%-20s %12s %12s %14s %12s\n", "point", "final I", "messages", "entries", "transfers")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%-20s %12.4g %12d %14d %12d\n",
+			p.Label, p.FinalImbalance, p.GossipMessages, p.GossipEntries, p.Transfers)
+	}
+}

@@ -1,0 +1,78 @@
+package lbaf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"temperedlb/internal/core"
+)
+
+// TraceTask is one task record of a workload trace.
+type TraceTask struct {
+	ID   int     `json:"id"`
+	Load float64 `json:"load"`
+	Rank int     `json:"rank"`
+}
+
+// Trace is the framework's JSON interchange format for workloads,
+// mirroring the task files the paper's Python LBAF tool consumes: a
+// rank count plus per-task load and initial placement. Analyses can be
+// re-run offline on traces captured from real applications.
+type Trace struct {
+	NumRanks int         `json:"num_ranks"`
+	Tasks    []TraceTask `json:"tasks"`
+}
+
+// CaptureTrace snapshots an assignment into a trace.
+func CaptureTrace(a *core.Assignment) Trace {
+	t := Trace{NumRanks: a.NumRanks()}
+	for id := 0; id < a.NumTasks(); id++ {
+		tid := core.TaskID(id)
+		t.Tasks = append(t.Tasks, TraceTask{
+			ID:   id,
+			Load: a.Load(tid),
+			Rank: int(a.Owner(tid)),
+		})
+	}
+	return t
+}
+
+// Assignment rebuilds the workload the trace describes. Task records
+// must appear with consecutive ids starting at 0 (the dense id space
+// assignments use).
+func (t Trace) Assignment() (*core.Assignment, error) {
+	if t.NumRanks < 1 {
+		return nil, fmt.Errorf("lbaf: trace has %d ranks", t.NumRanks)
+	}
+	a := core.NewAssignment(t.NumRanks)
+	for i, task := range t.Tasks {
+		if task.ID != i {
+			return nil, fmt.Errorf("lbaf: trace task %d has id %d; ids must be dense and ordered", i, task.ID)
+		}
+		if task.Rank < 0 || task.Rank >= t.NumRanks {
+			return nil, fmt.Errorf("lbaf: trace task %d on rank %d of %d", i, task.Rank, t.NumRanks)
+		}
+		if task.Load < 0 {
+			return nil, fmt.Errorf("lbaf: trace task %d has negative load %g", i, task.Load)
+		}
+		a.Add(task.Load, core.Rank(task.Rank))
+	}
+	return a, nil
+}
+
+// SaveWorkload writes the assignment as a JSON trace.
+func SaveWorkload(w io.Writer, a *core.Assignment) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(CaptureTrace(a))
+}
+
+// LoadWorkload reads a JSON trace and rebuilds the assignment.
+func LoadWorkload(r io.Reader) (*core.Assignment, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("lbaf: decoding trace: %w", err)
+	}
+	return t.Assignment()
+}

@@ -1,0 +1,149 @@
+// Package mesh provides the spatial substrate of the EMPIRE-like PIC
+// application: a 2-D structured cell grid over the unit square, an SPMD
+// partition of it into rank subdomains, and the per-rank coloring that
+// overdecomposes each subdomain into migratable chunks ("colors" in
+// EMPIRE's terminology, Fig. 1 of the paper).
+package mesh
+
+import (
+	"fmt"
+
+	"temperedlb/internal/core"
+)
+
+// Grid is a structured NX×NY cell grid covering [0,1]².
+type Grid struct {
+	NX, NY int
+}
+
+// NewGrid validates the dimensions and returns the grid.
+func NewGrid(nx, ny int) (Grid, error) {
+	if nx < 1 || ny < 1 {
+		return Grid{}, fmt.Errorf("mesh: grid %dx%d invalid", nx, ny)
+	}
+	return Grid{NX: nx, NY: ny}, nil
+}
+
+// NumCells returns the total cell count.
+func (g Grid) NumCells() int { return g.NX * g.NY }
+
+// CellOf maps a point in [0,1)² to its cell coordinates. Points on the
+// high boundary are clamped into the last cell.
+func (g Grid) CellOf(x, y float64) (cx, cy int) {
+	cx = int(x * float64(g.NX))
+	cy = int(y * float64(g.NY))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.NX {
+		cx = g.NX - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.NY {
+		cy = g.NY - 1
+	}
+	return cx, cy
+}
+
+// CellIndex flattens cell coordinates row-major.
+func (g Grid) CellIndex(cx, cy int) int { return cy*g.NX + cx }
+
+// Partition is the static SPMD decomposition of a grid into RX×RY rank
+// subdomains (Fig. 1a). Cell counts divide evenly by construction.
+type Partition struct {
+	Grid   Grid
+	RX, RY int
+	// cellsPerRankX/Y are the subdomain dimensions in cells.
+	cellsPerRankX, cellsPerRankY int
+}
+
+// NewPartition builds the SPMD decomposition; the grid dimensions must
+// be divisible by the rank grid dimensions.
+func NewPartition(g Grid, rx, ry int) (*Partition, error) {
+	if rx < 1 || ry < 1 {
+		return nil, fmt.Errorf("mesh: rank grid %dx%d invalid", rx, ry)
+	}
+	if g.NX%rx != 0 || g.NY%ry != 0 {
+		return nil, fmt.Errorf("mesh: grid %dx%d not divisible by rank grid %dx%d", g.NX, g.NY, rx, ry)
+	}
+	return &Partition{
+		Grid: g, RX: rx, RY: ry,
+		cellsPerRankX: g.NX / rx,
+		cellsPerRankY: g.NY / ry,
+	}, nil
+}
+
+// NumRanks returns the rank count RX·RY.
+func (p *Partition) NumRanks() int { return p.RX * p.RY }
+
+// CellsPerRank returns the number of cells in each rank subdomain.
+func (p *Partition) CellsPerRank() int { return p.cellsPerRankX * p.cellsPerRankY }
+
+// RankOfCell returns the home rank of a cell.
+func (p *Partition) RankOfCell(cx, cy int) core.Rank {
+	rx := cx / p.cellsPerRankX
+	ry := cy / p.cellsPerRankY
+	return core.Rank(ry*p.RX + rx)
+}
+
+// ColorID identifies a color (an overdecomposed chunk) globally:
+// colors 0..OD-1 of rank 0, then rank 1, and so on.
+type ColorID int32
+
+// Coloring overdecomposes every rank subdomain into ODX×ODY rectangular
+// color blocks (Fig. 1b), the migratable tasks of the AMT configuration.
+type Coloring struct {
+	Part     *Partition
+	ODX, ODY int
+	// cellsPerColorX/Y are the color block dimensions in cells.
+	cellsPerColorX, cellsPerColorY int
+}
+
+// NewColoring builds the per-rank coloring; each subdomain's cell
+// dimensions must divide by the color grid.
+func NewColoring(p *Partition, odx, ody int) (*Coloring, error) {
+	if odx < 1 || ody < 1 {
+		return nil, fmt.Errorf("mesh: color grid %dx%d invalid", odx, ody)
+	}
+	if p.cellsPerRankX%odx != 0 || p.cellsPerRankY%ody != 0 {
+		return nil, fmt.Errorf("mesh: rank subdomain %dx%d cells not divisible by color grid %dx%d",
+			p.cellsPerRankX, p.cellsPerRankY, odx, ody)
+	}
+	return &Coloring{
+		Part: p, ODX: odx, ODY: ody,
+		cellsPerColorX: p.cellsPerRankX / odx,
+		cellsPerColorY: p.cellsPerRankY / ody,
+	}, nil
+}
+
+// Overdecomposition returns the number of colors per rank.
+func (c *Coloring) Overdecomposition() int { return c.ODX * c.ODY }
+
+// NumColors returns the total color count.
+func (c *Coloring) NumColors() int { return c.Part.NumRanks() * c.Overdecomposition() }
+
+// CellsPerColor returns the number of cells in each color block.
+func (c *Coloring) CellsPerColor() int { return c.cellsPerColorX * c.cellsPerColorY }
+
+// ColorOfCell returns the color owning a cell.
+func (c *Coloring) ColorOfCell(cx, cy int) ColorID {
+	rank := c.Part.RankOfCell(cx, cy)
+	lx := (cx % c.Part.cellsPerRankX) / c.cellsPerColorX
+	ly := (cy % c.Part.cellsPerRankY) / c.cellsPerColorY
+	local := ly*c.ODX + lx
+	return ColorID(int(rank)*c.Overdecomposition() + local)
+}
+
+// HomeRank returns the rank whose subdomain contains the color (its
+// owner under the static SPMD mapping, before any migration).
+func (c *Coloring) HomeRank(id ColorID) core.Rank {
+	return core.Rank(int(id) / c.Overdecomposition())
+}
+
+// ColorOfPoint maps a point to its color.
+func (c *Coloring) ColorOfPoint(x, y float64) ColorID {
+	cx, cy := c.Part.Grid.CellOf(x, y)
+	return c.ColorOfCell(cx, cy)
+}

@@ -1,0 +1,171 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func mustHierarchy(t *testing.T, nx, ny, rx, ry, odx, ody int) *Coloring {
+	t.Helper()
+	g, err := NewGrid(nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(g, rx, ry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewColoring(p, odx, ody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGridCellOf(t *testing.T) {
+	g, _ := NewGrid(10, 5)
+	cases := []struct {
+		x, y   float64
+		cx, cy int
+	}{
+		{0, 0, 0, 0},
+		{0.05, 0.1, 0, 0},
+		{0.15, 0.25, 1, 1},
+		{0.999, 0.999, 9, 4},
+		{1.0, 1.0, 9, 4},   // clamped
+		{-0.1, -0.1, 0, 0}, // clamped
+	}
+	for _, c := range cases {
+		cx, cy := g.CellOf(c.x, c.y)
+		if cx != c.cx || cy != c.cy {
+			t.Errorf("CellOf(%g,%g) = (%d,%d), want (%d,%d)", c.x, c.y, cx, cy, c.cx, c.cy)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 5); err == nil {
+		t.Error("zero-width grid accepted")
+	}
+	g, _ := NewGrid(4, 4)
+	if g.NumCells() != 16 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestPartitionDivisibility(t *testing.T) {
+	g, _ := NewGrid(10, 10)
+	if _, err := NewPartition(g, 3, 2); err == nil {
+		t.Error("indivisible partition accepted")
+	}
+	if _, err := NewPartition(g, 0, 2); err == nil {
+		t.Error("zero rank grid accepted")
+	}
+	p, err := NewPartition(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRanks() != 10 || p.CellsPerRank() != 10 {
+		t.Errorf("partition dims wrong: %d ranks, %d cells", p.NumRanks(), p.CellsPerRank())
+	}
+}
+
+func TestRankOfCellLayout(t *testing.T) {
+	g, _ := NewGrid(4, 4)
+	p, _ := NewPartition(g, 2, 2)
+	// Ranks: row-major over the 2x2 rank grid.
+	if p.RankOfCell(0, 0) != 0 || p.RankOfCell(3, 0) != 1 ||
+		p.RankOfCell(0, 3) != 2 || p.RankOfCell(3, 3) != 3 {
+		t.Error("rank layout wrong")
+	}
+}
+
+func TestColoringValidation(t *testing.T) {
+	g, _ := NewGrid(12, 12)
+	p, _ := NewPartition(g, 2, 2) // 6x6 cells per rank
+	if _, err := NewColoring(p, 4, 2); err == nil {
+		t.Error("indivisible coloring accepted")
+	}
+	if _, err := NewColoring(p, 0, 2); err == nil {
+		t.Error("zero coloring accepted")
+	}
+	c, err := NewColoring(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Overdecomposition() != 6 || c.NumColors() != 24 || c.CellsPerColor() != 6 {
+		t.Errorf("coloring dims wrong: OD=%d colors=%d cells=%d",
+			c.Overdecomposition(), c.NumColors(), c.CellsPerColor())
+	}
+}
+
+// TestColorsPartitionCells is the key invariant: every cell belongs to
+// exactly one color, colors tile rank subdomains, and each color has
+// exactly CellsPerColor cells.
+func TestColorsPartitionCells(t *testing.T) {
+	c := mustHierarchy(t, 24, 16, 4, 2, 3, 4)
+	counts := make(map[ColorID]int)
+	for cy := 0; cy < 16; cy++ {
+		for cx := 0; cx < 24; cx++ {
+			id := c.ColorOfCell(cx, cy)
+			if id < 0 || int(id) >= c.NumColors() {
+				t.Fatalf("color %d out of range", id)
+			}
+			counts[id]++
+			// The color's home rank must be the cell's rank.
+			if c.HomeRank(id) != c.Part.RankOfCell(cx, cy) {
+				t.Fatalf("cell (%d,%d): color %d home %d != cell rank %d",
+					cx, cy, id, c.HomeRank(id), c.Part.RankOfCell(cx, cy))
+			}
+		}
+	}
+	if len(counts) != c.NumColors() {
+		t.Fatalf("%d distinct colors, want %d", len(counts), c.NumColors())
+	}
+	for id, n := range counts {
+		if n != c.CellsPerColor() {
+			t.Errorf("color %d has %d cells, want %d", id, n, c.CellsPerColor())
+		}
+	}
+}
+
+func TestHomeRankRange(t *testing.T) {
+	c := mustHierarchy(t, 24, 16, 4, 2, 3, 4)
+	for id := 0; id < c.NumColors(); id++ {
+		h := c.HomeRank(ColorID(id))
+		if h < 0 || int(h) >= c.Part.NumRanks() {
+			t.Fatalf("color %d home %d out of range", id, h)
+		}
+	}
+	// Every rank hosts exactly OD colors.
+	perRank := make(map[core.Rank]int)
+	for id := 0; id < c.NumColors(); id++ {
+		perRank[c.HomeRank(ColorID(id))]++
+	}
+	for r, n := range perRank {
+		if n != c.Overdecomposition() {
+			t.Errorf("rank %d hosts %d colors, want %d", r, n, c.Overdecomposition())
+		}
+	}
+}
+
+func TestColorOfPointConsistentWithCell(t *testing.T) {
+	c := mustHierarchy(t, 40, 40, 4, 4, 5, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		cx, cy := c.Part.Grid.CellOf(x, y)
+		if c.ColorOfPoint(x, y) != c.ColorOfCell(cx, cy) {
+			t.Fatalf("point (%g,%g): color mismatch", x, y)
+		}
+	}
+}
+
+func TestCellIndexRowMajor(t *testing.T) {
+	g, _ := NewGrid(7, 3)
+	if g.CellIndex(0, 0) != 0 || g.CellIndex(6, 0) != 6 || g.CellIndex(0, 1) != 7 || g.CellIndex(6, 2) != 20 {
+		t.Error("CellIndex layout wrong")
+	}
+}

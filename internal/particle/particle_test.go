@@ -1,0 +1,226 @@
+package particle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInjectGaussianCentersAndClamps(t *testing.T) {
+	s := NewSystem(1)
+	s.InjectGaussian(5000, 0.5, 0.5, 0.05, 0.01)
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	mx, my := 0.0, 0.0
+	for _, p := range s.Particles {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("particle outside domain: %+v", p)
+		}
+		mx += p.X
+		my += p.Y
+	}
+	mx /= 5000
+	my /= 5000
+	if math.Abs(mx-0.5) > 0.01 || math.Abs(my-0.5) > 0.01 {
+		t.Errorf("centroid (%g,%g), want ~(0.5,0.5)", mx, my)
+	}
+}
+
+func TestInjectDiskWithinRadius(t *testing.T) {
+	s := NewSystem(2)
+	s.InjectDisk(3000, 0.4, 0.6, 0.02, 0)
+	for _, p := range s.Particles {
+		dx, dy := p.X-0.4, p.Y-0.6
+		if dx*dx+dy*dy > 0.02*0.02*1.0001 {
+			t.Fatalf("disk particle outside radius: %+v", p)
+		}
+	}
+}
+
+func TestInjectUniformCoverage(t *testing.T) {
+	s := NewSystem(3)
+	s.InjectUniform(8000, 0.01)
+	quad := [4]int{}
+	for _, p := range s.Particles {
+		i := 0
+		if p.X > 0.5 {
+			i |= 1
+		}
+		if p.Y > 0.5 {
+			i |= 2
+		}
+		quad[i]++
+	}
+	for q, n := range quad {
+		if n < 1700 || n > 2300 {
+			t.Errorf("quadrant %d has %d of 8000", q, n)
+		}
+	}
+}
+
+func TestStepConservesCount(t *testing.T) {
+	s := NewSystem(4)
+	s.InjectUniform(1000, 0.1)
+	f := FocusingField{Strength: 1, CX0: 0.5, CY0: 0.5}
+	for i := 0; i < 100; i++ {
+		s.Step(0.01, f)
+	}
+	if s.Len() != 1000 {
+		t.Errorf("count changed: %d", s.Len())
+	}
+}
+
+func TestStepKeepsParticlesInDomain(t *testing.T) {
+	s := NewSystem(5)
+	s.InjectUniform(500, 0.5) // hot particles bounce a lot
+	f := FocusingField{Strength: 0.1, CX0: 0.5, CY0: 0.5}
+	for i := 0; i < 200; i++ {
+		s.Step(0.01, f)
+		for _, p := range s.Particles {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("escaped: %+v", p)
+			}
+		}
+	}
+}
+
+func TestStepAdvancesTime(t *testing.T) {
+	s := NewSystem(6)
+	s.InjectUniform(1, 0)
+	f := FocusingField{}
+	s.Step(0.25, f)
+	s.Step(0.25, f)
+	if math.Abs(s.Time()-0.5) > 1e-12 {
+		t.Errorf("Time = %g", s.Time())
+	}
+}
+
+func TestStepZeroDtPanics(t *testing.T) {
+	s := NewSystem(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Step(0, FocusingField{})
+}
+
+func TestFocusingFieldPullsTowardFocus(t *testing.T) {
+	f := FocusingField{Strength: 2, CX0: 0.5, CY0: 0.5}
+	ax, ay := f.Accel(0.7, 0.3, 0)
+	if ax >= 0 || ay <= 0 {
+		t.Errorf("acceleration (%g,%g) not toward focus", ax, ay)
+	}
+	// At the focus the force vanishes.
+	ax, ay = f.Accel(0.5, 0.5, 0)
+	if ax != 0 || ay != 0 {
+		t.Errorf("nonzero accel at focus: (%g,%g)", ax, ay)
+	}
+}
+
+func TestFocusingFieldDrift(t *testing.T) {
+	f := FocusingField{Strength: 1, CX0: 0.2, CY0: 0.3, DriftX: 0.1, DriftY: 0.2}
+	x, y := f.Focus(1.0)
+	if math.Abs(x-0.3) > 1e-12 || math.Abs(y-0.5) > 1e-12 {
+		t.Errorf("Focus(1) = (%g,%g)", x, y)
+	}
+}
+
+func TestTrapConfinesCloud(t *testing.T) {
+	// A cold cloud in a strong trap must stay near the focus.
+	s := NewSystem(8)
+	s.InjectGaussian(500, 0.5, 0.5, 0.02, 0.01)
+	f := FocusingField{Strength: 10, CX0: 0.5, CY0: 0.5}
+	for i := 0; i < 300; i++ {
+		s.Step(0.005, f)
+	}
+	if sp := s.Spread(); sp > 0.1 {
+		t.Errorf("cloud spread to %g under strong trap", sp)
+	}
+}
+
+func TestFreeStreamingSpreads(t *testing.T) {
+	s := NewSystem(9)
+	s.InjectGaussian(2000, 0.5, 0.5, 0.01, 0.1)
+	before := s.Spread()
+	for i := 0; i < 50; i++ {
+		s.Step(0.01, FocusingField{}) // no force
+	}
+	if after := s.Spread(); after <= before {
+		t.Errorf("free cloud did not spread: %g -> %g", before, after)
+	}
+}
+
+func TestCountPer(t *testing.T) {
+	s := NewSystem(10)
+	s.InjectUniform(1000, 0)
+	counts := s.CountPer(2, func(x, y float64) int {
+		if x < 0.5 {
+			return 0
+		}
+		return 1
+	})
+	if counts[0]+counts[1] != 1000 {
+		t.Fatalf("counts %v do not sum to population", counts)
+	}
+	if counts[0] < 350 || counts[0] > 650 {
+		t.Errorf("half-domain count %d suspicious", counts[0])
+	}
+}
+
+func TestCountPerBadClassifierPanics(t *testing.T) {
+	s := NewSystem(11)
+	s.InjectUniform(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.CountPer(1, func(x, y float64) int { return 5 })
+}
+
+func TestReflect(t *testing.T) {
+	x, v := -0.1, -1.0
+	reflect(&x, &v)
+	if x != 0.1 || v != 1.0 {
+		t.Errorf("reflect low: x=%g v=%g", x, v)
+	}
+	x, v = 1.3, 0.5
+	reflect(&x, &v)
+	if math.Abs(x-0.7) > 1e-12 || v != -0.5 {
+		t.Errorf("reflect high: x=%g v=%g", x, v)
+	}
+	// Multiple bounces converge into the domain.
+	x, v = 2.7, 1.0
+	reflect(&x, &v)
+	if x < 0 || x > 1 {
+		t.Errorf("multi-bounce left x=%g", x)
+	}
+}
+
+func TestSpreadEmptyAndSingle(t *testing.T) {
+	s := NewSystem(12)
+	if s.Spread() != 0 {
+		t.Error("spread of empty system nonzero")
+	}
+	s.InjectDisk(1, 0.5, 0.5, 0, 0)
+	if s.Spread() != 0 {
+		t.Error("spread of single particle nonzero")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, b := NewSystem(42), NewSystem(42)
+	a.InjectUniform(100, 0.1)
+	b.InjectUniform(100, 0.1)
+	f := FocusingField{Strength: 1, CX0: 0.5, CY0: 0.5}
+	for i := 0; i < 20; i++ {
+		a.Step(0.01, f)
+		b.Step(0.01, f)
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteSeriesCSV dumps the trackers' per-step series as CSV files under
+// dir — fig4a.csv (full step time), fig4b.csv (per-rank task load
+// extrema and lower bound), fig4c.csv (imbalance) — plus breakdown.csv
+// with the Fig. 3 totals, for plotting outside this repository.
+func WriteSeriesCSV(dir string, trackers []*Tracker) error {
+	if len(trackers) == 0 {
+		return fmt.Errorf("sim: no trackers to dump")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeSeries(filepath.Join(dir, "fig4a.csv"), trackers,
+		func(t *Tracker) []float64 { return t.Series.StepTime },
+		func(t *Tracker) string { return t.Name }); err != nil {
+		return err
+	}
+	if err := writeFig4b(filepath.Join(dir, "fig4b.csv"), trackers); err != nil {
+		return err
+	}
+	if err := writeSeries(filepath.Join(dir, "fig4c.csv"), trackers,
+		func(t *Tracker) []float64 { return t.Series.Imbalance },
+		func(t *Tracker) string { return t.Name }); err != nil {
+		return err
+	}
+	return writeBreakdown(filepath.Join(dir, "breakdown.csv"), trackers)
+}
+
+func writeSeries(path string, trackers []*Tracker, get func(*Tracker) []float64, name func(*Tracker) string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"step"}
+	for _, t := range trackers {
+		header = append(header, name(t))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	n := len(get(trackers[0]))
+	for s := 0; s < n; s++ {
+		row := []string{strconv.Itoa(s + 1)}
+		for _, t := range trackers {
+			row = append(row, formatF(get(t)[s]))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeFig4b(path string, trackers []*Tracker) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"step"}
+	for _, t := range trackers {
+		header = append(header, t.Name+" max", t.Name+" min", t.Name+" lower-bound")
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	n := len(trackers[0].Series.MaxLoad)
+	for s := 0; s < n; s++ {
+		row := []string{strconv.Itoa(s + 1)}
+		for _, t := range trackers {
+			row = append(row, formatF(t.Series.MaxLoad[s]), formatF(t.Series.MinLoad[s]), formatF(t.Series.LowerBound[s]))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeBreakdown(path string, trackers []*Tracker) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"configuration", "t_n", "t_p", "t_lb", "t_total"}); err != nil {
+		return err
+	}
+	for _, t := range trackers {
+		if err := w.Write([]string{
+			t.Name, formatF(t.Breakdown.TN), formatF(t.Breakdown.TP),
+			formatF(t.Breakdown.TLB), formatF(t.Breakdown.TTotal),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

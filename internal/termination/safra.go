@@ -1,0 +1,147 @@
+// Package termination implements distributed termination detection for
+// the AMT runtime's epochs: Safra's ring-based extension of Dijkstra's
+// algorithm, which tolerates asynchronous message passing. The paper's
+// vt runtime relies on exactly this class of algorithm to detect when
+// "all causally related gossip messages have been received and
+// processed" (§IV-B).
+package termination
+
+import "fmt"
+
+// Color is a process or token color in Safra's algorithm. White means
+// "no basic message received since the last token visit"; black taints
+// the current wave.
+type Color int
+
+const (
+	White Color = iota
+	Black
+)
+
+// String renders the color.
+func (c Color) String() string {
+	if c == White {
+		return "white"
+	}
+	return "black"
+}
+
+// Token is the probe circulating around the ring.
+type Token struct {
+	// Count accumulates the message-balance counters of visited ranks.
+	Count int
+	// Color is black if any visited rank was black.
+	Color Color
+	// Wave numbers successive probe rounds, for diagnostics.
+	Wave int
+}
+
+// Detector is the per-rank state of Safra's algorithm. It is not
+// goroutine-safe: the owning rank's scheduler must drive it.
+//
+// Protocol, for rank p of n on a ring (token travels p → p−1 mod n,
+// initiated by rank 0):
+//
+//   - Sending a basic message: OnSend (counter++).
+//   - Receiving a basic message: OnReceive (counter--, the rank turns
+//     black).
+//   - When passive and holding the token, the rank calls TryHandOff:
+//     rank 0 inspects the completed wave and either reports termination
+//     or starts a new wave; other ranks accumulate their counter and
+//     color into the token, whiten, and pass it on.
+type Detector struct {
+	rank, n  int
+	counter  int
+	color    Color
+	hasToken bool
+	token    Token
+	done     bool
+}
+
+// New creates the detector for one rank; rank 0 starts holding the
+// initial token.
+func New(rank, n int) *Detector {
+	if n < 1 || rank < 0 || rank >= n {
+		panic(fmt.Sprintf("termination: bad rank %d of %d", rank, n))
+	}
+	d := &Detector{rank: rank, n: n}
+	if rank == 0 {
+		d.hasToken = true
+		d.token = Token{Color: White, Wave: 1}
+	}
+	return d
+}
+
+// OnSend records a basic (epoch) message send.
+func (d *Detector) OnSend() { d.counter++ }
+
+// OnReceive records a basic (epoch) message receipt; the rank blackens.
+func (d *Detector) OnReceive() {
+	d.counter--
+	d.color = Black
+}
+
+// OnToken records arrival of the probe token.
+func (d *Detector) OnToken(t Token) {
+	if d.hasToken {
+		panic("termination: duplicate token")
+	}
+	d.hasToken = true
+	d.token = t
+}
+
+// HoldsToken reports whether this rank currently holds the probe.
+func (d *Detector) HoldsToken() bool { return d.hasToken }
+
+// Terminated reports whether rank 0 has concluded global termination.
+// Only rank 0 ever reports true; it must then announce termination to
+// the other ranks out of band.
+func (d *Detector) Terminated() bool { return d.done }
+
+// TryHandOff is called by the scheduler whenever the rank is passive (no
+// local work, no queued basic messages). If the rank holds the token it
+// either (rank 0) finishes a wave — detecting termination or launching a
+// new wave — or (other ranks) forwards the accumulated token. The
+// returned next is the rank to send the token to when send is true.
+func (d *Detector) TryHandOff() (t Token, next int, send bool) {
+	if !d.hasToken || d.done {
+		return Token{}, 0, false
+	}
+	if d.rank == 0 {
+		// A wave completes when the token returns to rank 0. The system
+		// has terminated iff the wave was white everywhere, rank 0 is
+		// white, and the global message balance is zero.
+		if d.token.Wave > 1 && d.token.Color == White && d.color == White && d.token.Count+d.counter == 0 {
+			d.done = true
+			d.hasToken = false
+			return Token{}, 0, false
+		}
+		// Start a new wave.
+		d.color = White
+		d.hasToken = false
+		return Token{Count: 0, Color: White, Wave: d.token.Wave + 1}, d.prev(), true
+	}
+	// Accumulate and forward.
+	t = d.token
+	t.Count += d.counter
+	if d.color == Black {
+		t.Color = Black
+	}
+	d.color = White
+	d.hasToken = false
+	return t, d.prev(), true
+}
+
+// prev returns the ring predecessor, the token's next hop.
+func (d *Detector) prev() int { return (d.rank + d.n - 1) % d.n }
+
+// Reset restores the detector for a new epoch.
+func (d *Detector) Reset() {
+	d.counter = 0
+	d.color = White
+	d.done = false
+	d.hasToken = d.rank == 0
+	if d.rank == 0 {
+		d.token = Token{Color: White, Wave: 1}
+	}
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("width %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("ramp not rendered: %q", s)
+	}
+	// Monotone input gives monotone sparkline.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5}, 3)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("width wrong: %q", s)
+	}
+	for _, r := range s {
+		if r != '▁' {
+			t.Errorf("constant series should be flat: %q", s)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	s := Sparkline(long, 10)
+	if len([]rune(s)) != 10 {
+		t.Errorf("downsample width: %q", s)
+	}
+}
+
+func TestSparklineEmpty(t *testing.T) {
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate inputs should yield empty string")
+	}
+}
+
+func TestPlotRendersSeriesAndLegend(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "test plot",
+		[]string{"up", "down"},
+		[][]float64{{0, 1, 2, 3}, {3, 2, 1, 0}},
+		20, 6)
+	out := b.String()
+	if !strings.Contains(out, "test plot") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a=up") || !strings.Contains(out, "b=down") {
+		t.Errorf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing marks")
+	}
+	// 6 grid rows + title + legend.
+	if got := strings.Count(out, "\n"); got != 8 {
+		t.Errorf("line count %d, want 8:\n%s", got, out)
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "t", []string{"s"}, [][]float64{{1, 9}}, 10, 4)
+	out := b.String()
+	if !strings.Contains(out, "9") || !strings.Contains(out, "1") {
+		t.Errorf("missing scale labels:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "t", nil, nil, 10, 4)
+	Plot(&b, "t", []string{"x"}, [][]float64{{}}, 10, 4)
+	Plot(&b, "t", []string{"x"}, [][]float64{{1, 2}}, 1, 1)
+	// Constant series must not divide by zero.
+	Plot(&b, "t", []string{"x"}, [][]float64{{2, 2, 2}}, 10, 4)
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("NaN leaked into plot")
+	}
+}
+
+func TestResampleExactAndStretch(t *testing.T) {
+	got := resample([]float64{1, 3}, 4)
+	if len(got) != 4 {
+		t.Fatalf("stretch length %d", len(got))
+	}
+	got = resample([]float64{2, 4, 6, 8}, 2)
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("bucket averages = %v, want [3 7]", got)
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"temperedlb/internal/core"
+)
+
+// Evolver generates per-phase task loads with controllable persistence,
+// for studying the principle of persistence (§III-B of the paper): load
+// balancing assumes past phases predict future ones, which holds only
+// when loads are correlated across phases.
+//
+// Loads follow a mean-reverting AR(1) process around each task's
+// baseline b_i:
+//
+//	l_i(t+1) = b_i + rho·(l_i(t) − b_i) + sigma·b_i·eps
+//
+// with eps ~ N(0,1), clamped at a small positive floor. Persistence=1
+// keeps loads frozen; Persistence=0 redraws them every phase.
+type Evolver struct {
+	persistence float64
+	noise       float64
+	baseline    []float64
+	current     []float64
+	rng         *rand.Rand
+}
+
+// NewEvolver starts from the assignment's current task loads as
+// baselines. persistence must be in [0,1]; noise is the per-phase
+// relative perturbation scale.
+func NewEvolver(a *core.Assignment, persistence, noise float64, seed int64) (*Evolver, error) {
+	if persistence < 0 || persistence > 1 {
+		return nil, fmt.Errorf("workload: persistence %g out of [0,1]", persistence)
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("workload: negative noise %g", noise)
+	}
+	e := &Evolver{
+		persistence: persistence,
+		noise:       noise,
+		baseline:    make([]float64, a.NumTasks()),
+		current:     make([]float64, a.NumTasks()),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	for i := range e.baseline {
+		e.baseline[i] = a.Load(core.TaskID(i))
+		e.current[i] = e.baseline[i]
+	}
+	return e, nil
+}
+
+// Step advances one phase and returns the new per-task loads. The
+// returned slice is reused across calls; copy it to retain.
+func (e *Evolver) Step() []float64 {
+	const floor = 1e-6
+	for i := range e.current {
+		b := e.baseline[i]
+		l := b + e.persistence*(e.current[i]-b) + e.noise*b*e.rng.NormFloat64()
+		if l < floor {
+			l = floor
+		}
+		e.current[i] = l
+	}
+	return e.current
+}
+
+// Loads returns the current per-task loads without advancing.
+func (e *Evolver) Loads() []float64 { return e.current }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func evolveBase(t *testing.T) *core.Assignment {
+	t.Helper()
+	a, err := Generate(Spec{
+		NumRanks: 8, NumTasks: 100,
+		Placement: PlaceUniform, Loads: LoadUniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEvolverFrozen(t *testing.T) {
+	a := evolveBase(t)
+	e, err := NewEvolver(a, 1.0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), e.Loads()...)
+	for p := 0; p < 10; p++ {
+		after := e.Step()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatal("frozen loads changed")
+			}
+		}
+	}
+}
+
+func TestEvolverMeanReverts(t *testing.T) {
+	a := evolveBase(t)
+	e, err := NewEvolver(a, 0.5, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-run average per task should hover near its baseline.
+	n := a.NumTasks()
+	sums := make([]float64, n)
+	const phases = 400
+	for p := 0; p < phases; p++ {
+		loads := e.Step()
+		for i, l := range loads {
+			sums[i] += l
+		}
+	}
+	for i := 0; i < n; i++ {
+		mean := sums[i] / phases
+		base := a.Load(core.TaskID(i))
+		if math.Abs(mean-base) > 0.25*base+0.05 {
+			t.Fatalf("task %d drifted: mean %g vs baseline %g", i, mean, base)
+		}
+	}
+}
+
+func TestEvolverZeroPersistenceDecorrelates(t *testing.T) {
+	a := evolveBase(t)
+	e, _ := NewEvolver(a, 0.0, 0.5, 4)
+	prev := append([]float64(nil), e.Step()...)
+	next := e.Step()
+	// Successive deviations should be essentially uncorrelated: compute
+	// the sample correlation of (l_t - b) and (l_{t+1} - b).
+	var sxy, sxx, syy float64
+	for i := range prev {
+		b := a.Load(core.TaskID(i))
+		x, y := prev[i]-b, next[i]-b
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	if sxx == 0 || syy == 0 {
+		t.Skip("degenerate sample")
+	}
+	corr := sxy / math.Sqrt(sxx*syy)
+	if math.Abs(corr) > 0.35 {
+		t.Errorf("rho=0 loads correlated: %g", corr)
+	}
+}
+
+func TestEvolverPositivityUnderHugeNoise(t *testing.T) {
+	a := evolveBase(t)
+	e, _ := NewEvolver(a, 0.2, 10, 5)
+	for p := 0; p < 100; p++ {
+		for _, l := range e.Step() {
+			if l <= 0 {
+				t.Fatal("non-positive load")
+			}
+		}
+	}
+}
+
+func TestEvolverValidatesArgs(t *testing.T) {
+	a := evolveBase(t)
+	if _, err := NewEvolver(a, -0.1, 0, 1); err == nil {
+		t.Error("negative persistence accepted")
+	}
+	if _, err := NewEvolver(a, 2, 0, 1); err == nil {
+		t.Error("persistence > 1 accepted")
+	}
+	if _, err := NewEvolver(a, 0.5, -0.1, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package workload generates synthetic task distributions for exercising
+// the load balancers: the paper's §V-B analysis case, uniform and
+// clustered distributions, and time-varying load drifts.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"temperedlb/internal/core"
+)
+
+// Spec describes a synthetic workload to generate.
+type Spec struct {
+	// NumRanks is the total number of ranks P.
+	NumRanks int
+	// NumTasks is the number of migratable tasks.
+	NumTasks int
+	// Placement selects where tasks initially live.
+	Placement Placement
+	// LoadedRanks is the number of ranks that initially hold tasks when
+	// Placement is PlaceClustered (the paper's case uses 16 of 4096).
+	LoadedRanks int
+	// Loads selects the task-load distribution.
+	Loads LoadModel
+	// HeavyFraction is, for LoadMixture, the fraction of tasks whose
+	// load exceeds the global average rank load (making them permanently
+	// unplaceable under the original criterion).
+	HeavyFraction float64
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// Placement selects the initial task→rank mapping.
+type Placement int
+
+const (
+	// PlaceClustered puts all tasks on the first LoadedRanks ranks,
+	// leaving the rest empty — the §V-B case.
+	PlaceClustered Placement = iota
+	// PlaceUniform scatters tasks uniformly at random over all ranks.
+	PlaceUniform
+	// PlaceSkewed scatters tasks with probability proportional to
+	// rank^(-1/2), a mild power-law hot spot.
+	PlaceSkewed
+)
+
+// LoadModel selects the task-load distribution.
+type LoadModel int
+
+const (
+	// LoadUnit gives every task load 1.
+	LoadUnit LoadModel = iota
+	// LoadUniform draws loads uniformly from (0.5, 1.5).
+	LoadUniform
+	// LoadExponential draws loads from Exp(1) + 0.01.
+	LoadExponential
+	// LoadMixture draws a light/heavy mixture calibrated against the
+	// average rank load l_ave: light tasks with loads uniform in
+	// (0.1, 0.9) and heavy tasks uniform in (1.05, 1.6)·l_ave. Heavy
+	// tasks cannot be placed anywhere under the original criterion
+	// (their load alone exceeds l_ave), reproducing the §V-B rejection
+	// pathology, while remaining light enough that the relaxed criterion
+	// can converge to I below 1.
+	LoadMixture
+)
+
+// VBCase returns the paper's §V-B/§V-D analysis case: 10^4 tasks on 16
+// of 2^12 ranks with a light/heavy load mixture tuned so the initial
+// imbalance is ≈ 280.
+func VBCase(seed int64) Spec {
+	return Spec{
+		NumRanks:      1 << 12,
+		NumTasks:      10_000,
+		Placement:     PlaceClustered,
+		LoadedRanks:   1 << 4,
+		Loads:         LoadMixture,
+		HeavyFraction: 0.20,
+		Seed:          seed,
+	}
+}
+
+// Validate reports whether the spec is generable.
+func (s Spec) Validate() error {
+	switch {
+	case s.NumRanks < 1:
+		return fmt.Errorf("workload: NumRanks must be >= 1, got %d", s.NumRanks)
+	case s.NumTasks < 0:
+		return fmt.Errorf("workload: NumTasks must be >= 0, got %d", s.NumTasks)
+	case s.Placement == PlaceClustered && (s.LoadedRanks < 1 || s.LoadedRanks > s.NumRanks):
+		return fmt.Errorf("workload: LoadedRanks %d out of range [1,%d]", s.LoadedRanks, s.NumRanks)
+	case s.HeavyFraction < 0 || s.HeavyFraction > 1:
+		return fmt.Errorf("workload: HeavyFraction %g out of [0,1]", s.HeavyFraction)
+	}
+	return nil
+}
+
+// Generate builds the assignment described by the spec.
+func Generate(s Spec) (*core.Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	a := core.NewAssignment(s.NumRanks)
+
+	loads := genLoads(s, rng)
+	for i := 0; i < s.NumTasks; i++ {
+		a.Add(loads[i], pickRank(s, rng, i))
+	}
+	return a, nil
+}
+
+func genLoads(s Spec, rng *rand.Rand) []float64 {
+	loads := make([]float64, s.NumTasks)
+	switch s.Loads {
+	case LoadUnit:
+		for i := range loads {
+			loads[i] = 1
+		}
+	case LoadUniform:
+		for i := range loads {
+			loads[i] = 0.5 + rng.Float64()
+		}
+	case LoadExponential:
+		for i := range loads {
+			loads[i] = rng.ExpFloat64() + 0.01
+		}
+	case LoadMixture:
+		// Calibrate against the average rank load that a light-only
+		// workload of unit-mean tasks would produce, then rescale so the
+		// heavy class sits strictly above the realized l_ave.
+		mixtureLoads(loads, s, rng)
+	}
+	return loads
+}
+
+// mixtureLoads fills loads with the light/heavy mixture. The calibration
+// iterates once: draw shapes, compute the implied average rank load,
+// then scale heavy tasks to (1.2, 3.0)×l_ave. Because scaling heavy
+// tasks changes l_ave, a fixed point is found by solving the linear
+// relation exactly instead of iterating.
+func mixtureLoads(loads []float64, s Spec, rng *rand.Rand) {
+	n := len(loads)
+	heavy := make([]bool, n)
+	numHeavy := 0
+	for i := range loads {
+		if rng.Float64() < s.HeavyFraction {
+			heavy[i] = true
+			numHeavy++
+		}
+	}
+	// Light shapes ~ U(0.1, 0.9), heavy shapes ~ U(1.05, 1.6); heavy
+	// tasks get load shape_h · l_ave. With S_l the light sum and S_h the
+	// heavy shape sum: total = S_l + S_h·l_ave and l_ave = total/P, so
+	// l_ave = S_l / (P − S_h), requiring S_h < P.
+	lightSum, heavySum := 0.0, 0.0
+	shape := make([]float64, n)
+	for i := range loads {
+		if heavy[i] {
+			shape[i] = 1.05 + 0.55*rng.Float64()
+			heavySum += shape[i]
+		} else {
+			shape[i] = 0.1 + 0.8*rng.Float64()
+			lightSum += shape[i]
+		}
+	}
+	p := float64(s.NumRanks)
+	ave := lightSum / math.Max(p-heavySum, 1)
+	for i := range loads {
+		if heavy[i] {
+			loads[i] = shape[i] * ave
+		} else {
+			loads[i] = shape[i]
+		}
+	}
+}
+
+func pickRank(s Spec, rng *rand.Rand, i int) core.Rank {
+	switch s.Placement {
+	case PlaceClustered:
+		return core.Rank(rng.Intn(s.LoadedRanks))
+	case PlaceUniform:
+		return core.Rank(rng.Intn(s.NumRanks))
+	case PlaceSkewed:
+		// Probability ∝ 1/sqrt(rank+1) via inverse-CDF of the continuous
+		// analogue: F(x) ∝ sqrt(x), so x = u² · P.
+		u := rng.Float64()
+		r := int(u * u * float64(s.NumRanks))
+		if r >= s.NumRanks {
+			r = s.NumRanks - 1
+		}
+		return core.Rank(r)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"temperedlb/internal/core"
+)
+
+func TestVBCaseShape(t *testing.T) {
+	spec := VBCase(1)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRanks() != 4096 || a.NumTasks() != 10000 {
+		t.Fatalf("dims: %d ranks %d tasks", a.NumRanks(), a.NumTasks())
+	}
+	// All tasks on the first 16 ranks.
+	for r := 16; r < a.NumRanks(); r++ {
+		if a.TaskCount(core.Rank(r)) != 0 {
+			t.Fatalf("rank %d unexpectedly holds tasks", r)
+		}
+	}
+	// Initial imbalance near the paper's 280.
+	if i0 := a.Imbalance(); i0 < 200 || i0 > 350 {
+		t.Errorf("initial imbalance %g, want ~280", i0)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVBCaseMixtureSplitsAroundAverage(t *testing.T) {
+	a, err := Generate(VBCase(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ave := a.AveLoad()
+	heavy, light := 0, 0
+	for id := 0; id < a.NumTasks(); id++ {
+		if a.Load(core.TaskID(id)) > ave {
+			heavy++
+		} else {
+			light++
+		}
+	}
+	// ~20% heavy by construction.
+	frac := float64(heavy) / float64(a.NumTasks())
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("heavy fraction %g, want ~0.20", frac)
+	}
+	// Heavy tasks must be strictly above the average rank load but below
+	// 1.6×ave so the relaxed criterion can converge to I < 1.
+	for id := 0; id < a.NumTasks(); id++ {
+		l := a.Load(core.TaskID(id))
+		if l > ave && l > 1.65*ave {
+			t.Fatalf("heavy task %d load %g > 1.65·ave %g", id, l, 1.65*ave)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := VBCase(7)
+	a1, _ := Generate(s)
+	a2, _ := Generate(s)
+	if a1.NumTasks() != a2.NumTasks() {
+		t.Fatal("task counts differ")
+	}
+	for id := 0; id < a1.NumTasks(); id++ {
+		tid := core.TaskID(id)
+		if a1.Load(tid) != a2.Load(tid) || a1.Owner(tid) != a2.Owner(tid) {
+			t.Fatalf("task %d differs between identical specs", id)
+		}
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	a1, _ := Generate(VBCase(1))
+	a2, _ := Generate(VBCase(2))
+	diff := false
+	for id := 0; id < a1.NumTasks() && !diff; id++ {
+		tid := core.TaskID(id)
+		if a1.Load(tid) != a2.Load(tid) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical loads")
+	}
+}
+
+func TestGenerateUniformPlacement(t *testing.T) {
+	spec := Spec{NumRanks: 64, NumTasks: 6400, Placement: PlaceUniform, Loads: LoadUnit, Seed: 3}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 64; r++ {
+		c := a.TaskCount(core.Rank(r))
+		if c < 40 || c > 170 {
+			t.Errorf("uniform placement rank %d has %d tasks", r, c)
+		}
+	}
+}
+
+func TestGenerateSkewedPlacement(t *testing.T) {
+	spec := Spec{NumRanks: 64, NumTasks: 6400, Placement: PlaceSkewed, Loads: LoadUnit, Seed: 4}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowHalf, highHalf := 0, 0
+	for r := 0; r < 32; r++ {
+		lowHalf += a.TaskCount(core.Rank(r))
+	}
+	for r := 32; r < 64; r++ {
+		highHalf += a.TaskCount(core.Rank(r))
+	}
+	if lowHalf <= highHalf {
+		t.Errorf("skewed placement not skewed: low %d high %d", lowHalf, highHalf)
+	}
+}
+
+func TestGenerateLoadModels(t *testing.T) {
+	for _, lm := range []LoadModel{LoadUnit, LoadUniform, LoadExponential} {
+		spec := Spec{NumRanks: 8, NumTasks: 100, Placement: PlaceUniform, Loads: lm, Seed: 5}
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("model %d: %v", lm, err)
+		}
+		for id := 0; id < a.NumTasks(); id++ {
+			if l := a.Load(core.TaskID(id)); l <= 0 || math.IsNaN(l) {
+				t.Fatalf("model %d produced load %g", lm, l)
+			}
+		}
+	}
+}
+
+func TestGenerateUnitLoads(t *testing.T) {
+	spec := Spec{NumRanks: 4, NumTasks: 10, Placement: PlaceUniform, Loads: LoadUnit, Seed: 6}
+	a, _ := Generate(spec)
+	for id := 0; id < 10; id++ {
+		if a.Load(core.TaskID(id)) != 1 {
+			t.Fatal("LoadUnit produced non-unit load")
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{NumRanks: 0, NumTasks: 1},
+		{NumRanks: 4, NumTasks: -1},
+		{NumRanks: 4, NumTasks: 1, Placement: PlaceClustered, LoadedRanks: 0},
+		{NumRanks: 4, NumTasks: 1, Placement: PlaceClustered, LoadedRanks: 5},
+		{NumRanks: 4, NumTasks: 1, Placement: PlaceUniform, HeavyFraction: 1.5},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateEmptyWorkload(t *testing.T) {
+	spec := Spec{NumRanks: 4, NumTasks: 0, Placement: PlaceUniform, Loads: LoadUnit, Seed: 1}
+	a, err := Generate(spec)
+	if err != nil || a.NumTasks() != 0 {
+		t.Errorf("empty workload: %v tasks=%d", err, a.NumTasks())
+	}
+}

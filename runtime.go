@@ -1,0 +1,69 @@
+package temperedlb
+
+import (
+	"temperedlb/internal/amt"
+	"temperedlb/internal/lb/tempered"
+)
+
+// AMT runtime surface: logical ranks, active messages, epochs under
+// distributed termination detection, collectives, and migratable
+// objects — the substrate the distributed balancer runs on.
+type (
+	// Runtime owns the transport and handler registries.
+	Runtime = amt.Runtime
+	// RankContext is a logical rank's handle inside Runtime.Run.
+	RankContext = amt.Context
+	// HandlerID names a registered active-message handler.
+	HandlerID = amt.HandlerID
+	// ObjectID identifies a migratable object.
+	ObjectID = amt.ObjectID
+	// PhaseStats is one rank's per-phase task instrumentation.
+	PhaseStats = amt.PhaseStats
+	// Collection is a distributed indexed array of migratable objects
+	// (vt's collection concept); create with RankContext.CreateCollection.
+	Collection = amt.Collection
+	// CollectionID names a collection; all ranks must agree on it.
+	CollectionID = amt.CollectionID
+	// LoadModel predicts next-phase loads from phase observations under
+	// the principle of persistence.
+	LoadModel = amt.LoadModel
+	// ReduceOp selects the AllReduce combiner.
+	ReduceOp = amt.ReduceOp
+	// LBHandlers bundles the distributed balancer's active-message
+	// handlers; register once before Runtime.Run.
+	LBHandlers = tempered.Handlers
+	// DistributedResult reports a distributed LB invocation.
+	DistributedResult = tempered.DistResult
+)
+
+// Reduction operators.
+const (
+	ReduceSum = amt.ReduceSum
+	ReduceMax = amt.ReduceMax
+	ReduceMin = amt.ReduceMin
+)
+
+// NewRuntime creates an AMT runtime over n logical ranks, each driven by
+// its own goroutine once Run is called.
+func NewRuntime(n int) *Runtime { return amt.New(n) }
+
+// NewLoadModel creates a persistence-based load predictor with
+// smoothing factor alpha in (0,1]; alpha = 1 is pure persistence.
+func NewLoadModel(alpha float64) *LoadModel { return amt.NewLoadModel(alpha) }
+
+// RegisterLBHandlers installs the distributed balancer's handlers on the
+// runtime, claiming handler ids base, base+1 and base+2. Call before
+// Runtime.Run and pass the result to RunDistributedLB on every rank.
+func RegisterLBHandlers(rt *Runtime, base HandlerID) *LBHandlers {
+	return tempered.RegisterHandlers(rt, base)
+}
+
+// RunDistributedLB executes the full TemperedLB protocol collectively:
+// gossip epochs as real active messages under termination detection,
+// concurrent transfer decisions, refinement over trials and iterations,
+// and a commit epoch that migrates the chosen objects. loads maps each
+// of the calling rank's local objects to its instrumented load (e.g.
+// from PhaseStats.Loads).
+func RunDistributedLB(rc *RankContext, h *LBHandlers, cfg Config, loads map[ObjectID]float64) (DistributedResult, error) {
+	return tempered.RunDistributed(rc, h, cfg, loads)
+}

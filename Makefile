@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race check bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full race-detector pass; includes the obs-instrumented chaos tests,
+# which is how we prove the tracer and metrics add no data races.
+race:
+	$(GO) test -race ./...
+
+# The CI gate: static analysis plus the race-enabled suite.
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate BENCH_lb.json, the machine-readable perf trajectory
+# (ns/op, B/op, allocs/op per recorded configuration).
+bench-json:
+	BENCH_JSON=1 $(GO) test -run TestWriteBenchJSON -v .

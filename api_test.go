@@ -1,6 +1,7 @@
 package temperedlb_test
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -150,6 +151,98 @@ func TestPublicAPIRuntime(t *testing.T) {
 	for r, f := range finals {
 		if f >= finals[0]+1e-9 || f <= finals[0]-1e-9 {
 			t.Errorf("rank %d disagrees on final I: %g vs %g", r, f, finals[0])
+		}
+	}
+}
+
+// TestPublicAPIObservability exercises the tracing and metrics surface:
+// a traced distributed LB run exporting to every format.
+func TestPublicAPIObservability(t *testing.T) {
+	rec := temperedlb.NewTraceRecorder()
+	rt := temperedlb.NewRuntime(8, temperedlb.WithTracer(rec), temperedlb.WithMetrics())
+	lbh := temperedlb.RegisterLBHandlers(rt, 20)
+	rt.Run(func(rc *temperedlb.RankContext) {
+		loads := map[temperedlb.ObjectID]float64{}
+		if rc.Rank() == 0 {
+			for i := 0; i < 16; i++ {
+				id := rc.CreateObject(i)
+				loads[id] = 1
+			}
+		}
+		rc.Barrier()
+		cfg := temperedlb.Tempered()
+		cfg.Trials, cfg.Iterations, cfg.Rounds = 2, 2, 3
+		res, err := temperedlb.RunDistributedLB(rc, lbh, cfg, loads)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rc.Rank() == 0 {
+			if len(res.History) != 4 {
+				t.Errorf("history rows = %d", len(res.History))
+			}
+			if res.ElapsedSeconds <= 0 {
+				t.Errorf("elapsed = %g", res.ElapsedSeconds)
+			}
+		}
+	})
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	events := rec.Events()
+	var buf bytes.Buffer
+	for name, write := range map[string]func() error{
+		"chrome": func() error { return temperedlb.WriteChromeTrace(&buf, events) },
+		"csv":    func() error { return temperedlb.WriteTraceCSV(&buf, events) },
+		"json":   func() error { return temperedlb.WriteTraceJSON(&buf, events) },
+		"prom":   func() error { return temperedlb.WritePrometheus(&buf, rt.Metrics()) },
+	} {
+		buf.Reset()
+		if err := write(); err != nil {
+			t.Errorf("%s export: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s export empty", name)
+		}
+	}
+	if got := rt.Metrics().Counter("amt_epochs_total").Value(); got == 0 {
+		t.Error("amt_epochs_total = 0")
+	}
+}
+
+// TestPublicAPISyncEngineTracer pins Config.Tracer on the synchronous
+// engine: lb.run and lb.iteration events with populated ElapsedSeconds.
+func TestPublicAPISyncEngineTracer(t *testing.T) {
+	spec := temperedlb.VBWorkload(3)
+	spec.NumRanks, spec.LoadedRanks, spec.NumTasks = 64, 2, 200
+	a, err := temperedlb.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := temperedlb.NewTraceRecorder()
+	cfg := temperedlb.Tempered()
+	cfg.Trials, cfg.Iterations = 2, 3
+	cfg.Tracer = rec
+	eng, err := temperedlb.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	for _, e := range rec.Events() {
+		if e.Type == temperedlb.EvIterEnd {
+			iters++
+		}
+	}
+	if iters != 6 {
+		t.Errorf("lb.iteration end events = %d, want 6", iters)
+	}
+	for i, h := range res.History {
+		if h.ElapsedSeconds <= 0 {
+			t.Errorf("history[%d].ElapsedSeconds = %g", i, h.ElapsedSeconds)
 		}
 	}
 }

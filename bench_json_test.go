@@ -1,0 +1,198 @@
+// Machine-readable benchmark emission: `make bench-json` (or BENCH_JSON=1
+// go test -run TestWriteBenchJSON) reruns a fixed set of leaf benchmark
+// configurations through testing.Benchmark and writes BENCH_lb.json, the
+// perf trajectory future PRs diff against. The set deliberately includes
+// an engine run with a tracer attached so observability overhead is part
+// of the recorded trajectory.
+package temperedlb_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"temperedlb"
+	"temperedlb/internal/core"
+	"temperedlb/internal/lbaf"
+	"temperedlb/internal/obs"
+	"temperedlb/internal/workload"
+)
+
+// benchRecord is one BENCH_lb.json row.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// benchJSONSuite lists the leaf configurations recorded in
+// BENCH_lb.json. Keep names stable across PRs: the file is a trajectory,
+// and renaming a row severs its history.
+func benchJSONSuite() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	engineSpec := func() *core.Assignment {
+		a, err := workload.Generate(benchVBSpec())
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	engineCfg := func() core.Config {
+		cfg := core.Tempered()
+		cfg.Trials, cfg.Iterations = 2, 4
+		cfg.Rounds, cfg.Fanout = 6, 4
+		return cfg
+	}
+	runEngine := func(b *testing.B, cfg core.Config) {
+		a := engineSpec()
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"table_vb", func(b *testing.B) {
+			spec, cfg := benchVBSpec(), benchLBAFConfig()
+			for i := 0; i < b.N; i++ {
+				if _, err := lbaf.RunIterationTable("§V-B", spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"table_vd", func(b *testing.B) {
+			spec := benchVBSpec()
+			cfg := benchLBAFConfig()
+			cfg.Criterion = core.CriterionRelaxed
+			cfg.CMF = core.CMFModified
+			cfg.RecomputeCMF = true
+			for i := 0; i < b.N; i++ {
+				if _, err := lbaf.RunIterationTable("§V-D", spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"engine_tempered", func(b *testing.B) {
+			runEngine(b, engineCfg())
+		}},
+		{"engine_tempered_traced", func(b *testing.B) {
+			cfg := engineCfg()
+			cfg.Tracer = obs.NewRecorder()
+			runEngine(b, cfg)
+		}},
+		{"distributed_lb_16ranks", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := temperedlb.NewRuntime(16)
+				h := temperedlb.RegisterLBHandlers(rt, 1)
+				rt.Run(func(rc *temperedlb.RankContext) {
+					loads := map[temperedlb.ObjectID]float64{}
+					if rc.Rank() < 2 {
+						for j := 0; j < 64; j++ {
+							loads[rc.CreateObject(j)] = 0.5 + float64(j%7)/7
+						}
+					}
+					rc.Barrier()
+					cfg := temperedlb.Tempered()
+					cfg.Trials, cfg.Iterations, cfg.Rounds = 2, 3, 4
+					if _, err := temperedlb.RunDistributedLB(rc, h, cfg, loads); err != nil {
+						b.Error(err)
+					}
+				})
+			}
+		}},
+		{"distributed_lb_16ranks_observed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec := temperedlb.NewTraceRecorder()
+				rt := temperedlb.NewRuntime(16, temperedlb.WithTracer(rec), temperedlb.WithMetrics())
+				h := temperedlb.RegisterLBHandlers(rt, 1)
+				rt.Run(func(rc *temperedlb.RankContext) {
+					loads := map[temperedlb.ObjectID]float64{}
+					if rc.Rank() < 2 {
+						for j := 0; j < 64; j++ {
+							loads[rc.CreateObject(j)] = 0.5 + float64(j%7)/7
+						}
+					}
+					rc.Barrier()
+					cfg := temperedlb.Tempered()
+					cfg.Trials, cfg.Iterations, cfg.Rounds = 2, 3, 4
+					if _, err := temperedlb.RunDistributedLB(rc, h, cfg, loads); err != nil {
+						b.Error(err)
+					}
+				})
+			}
+		}},
+		{"orderings_fewest_migrations_10k", func(b *testing.B) {
+			tasks := make([]core.Task, 10_000)
+			total := 0.0
+			for i := range tasks {
+				tasks[i] = core.Task{ID: core.TaskID(i), Load: float64((i*2654435761)%1000) / 100}
+				total += tasks[i].Load
+			}
+			for i := 0; i < b.N; i++ {
+				core.OrderTasks(tasks, total/400, total, core.OrderFewestMigrations)
+			}
+		}},
+	}
+}
+
+// TestWriteBenchJSON regenerates BENCH_lb.json. Skipped unless BENCH_JSON
+// is set: the run takes a while and must not slow down the tier-1 suite.
+func TestWriteBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 (or run `make bench-json`) to regenerate BENCH_lb.json")
+	}
+	out := benchFile{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	for _, bm := range benchJSONSuite() {
+		fn := bm.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		out.Benchmarks = append(out.Benchmarks, benchRecord{
+			Name:        bm.name,
+			N:           res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		t.Logf("%-34s %12d ns/op %10d B/op %8d allocs/op (n=%d)",
+			bm.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N)
+	}
+	f, err := os.Create("BENCH_lb.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,14 +5,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"temperedlb/internal/core"
 	"temperedlb/internal/empire"
 	"temperedlb/internal/lbaf"
 	"temperedlb/internal/mesh"
+	"temperedlb/internal/obs"
 	"temperedlb/internal/sim"
 )
 
@@ -20,18 +23,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("empire: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig4c | fig4d | all")
-		scale    = flag.String("scale", "full", "full (paper scale, 400 ranks) | small (test scale)")
-		steps    = flag.Int("steps", 0, "override timestep count (0 = config default)")
-		trials   = flag.Int("trials", 0, "override TemperedLB trials (0 = paper's 10)")
-		iters    = flag.Int("iters", 0, "override TemperedLB iterations (0 = paper's 8)")
-		rounds   = flag.Int("k", 3, "gossip rounds for the distributed balancers (~log_f P)")
-		every    = flag.Int("every", 0, "series sampling stride (0 = auto)")
-		seed     = flag.Int64("seed", 1, "physics seed")
-		csvDir   = flag.String("csv", "", "also dump per-step series as CSV files into this directory")
-		plot     = flag.Bool("plot", false, "render ASCII charts of the fig4a/fig4c series")
-		dumpStep = flag.Int("dumpstep", 0, "run the physics to this step and dump the color loads as a JSON workload trace (requires -dumpfile)")
-		dumpFile = flag.String("dumpfile", "", "trace output path for -dumpstep")
+		exp        = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig4c | fig4d | all")
+		scale      = flag.String("scale", "full", "full (paper scale, 400 ranks) | small (test scale)")
+		steps      = flag.Int("steps", 0, "override timestep count (0 = config default)")
+		trials     = flag.Int("trials", 0, "override TemperedLB trials (0 = paper's 10)")
+		iters      = flag.Int("iters", 0, "override TemperedLB iterations (0 = paper's 8)")
+		rounds     = flag.Int("k", 3, "gossip rounds for the distributed balancers (~log_f P)")
+		every      = flag.Int("every", 0, "series sampling stride (0 = auto)")
+		seed       = flag.Int64("seed", 1, "physics seed")
+		csvDir     = flag.String("csv", "", "also dump per-step series as CSV files into this directory")
+		plot       = flag.Bool("plot", false, "render ASCII charts of the fig4a/fig4c series")
+		dumpStep   = flag.Int("dumpstep", 0, "run the physics to this step and dump the color loads as a JSON workload trace (requires -dumpfile)")
+		dumpFile   = flag.String("dumpfile", "", "trace output path for -dumpstep")
+		traceOut   = flag.String("trace", "", "write the virtual per-step timeline as Chrome trace_event JSON to this file (one track per configuration; open in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write per-configuration summary metrics in Prometheus text format to this file")
 	)
 	flag.Parse()
 
@@ -78,8 +83,11 @@ func main() {
 		return
 	}
 
+	var allTrackers []*sim.Tracker
+
 	if want("fig2") || want("fig3") || want("fig4a") || want("fig4b") || want("fig4c") {
 		trackers := sim.StandardTrackers(tweak)
+		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d configurations at %dx%d ranks, %d steps ...",
 			len(trackers), cfg.RanksX, cfg.RanksY, cfg.Steps)
 		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
@@ -122,6 +130,7 @@ func main() {
 	}
 	if want("fig4d") {
 		trackers := sim.OrderingTrackers(tweak)
+		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d ordering configurations ...", len(trackers))
 		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
 			log.Fatal(err)
@@ -130,6 +139,107 @@ func main() {
 	}
 	if !strings.Contains("fig2 fig3 fig4a fig4b fig4c fig4d all", *exp) {
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if *traceOut != "" {
+		events, names := virtualTimeline(allTrackers)
+		writeExport(*traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTraceNamed(w, events, names)
+		})
+		log.Printf("wrote %d virtual-time trace events to %s (open in ui.perfetto.dev)", len(events), *traceOut)
+	}
+	if *metricsOut != "" {
+		writeExport(*metricsOut, func(w io.Writer) error {
+			return obs.WritePrometheus(w, trackerMetrics(allTrackers))
+		})
+		log.Printf("wrote metrics to %s", *metricsOut)
+	}
+}
+
+// virtualTimeline converts each tracker's per-step series into trace
+// events on the simulation's virtual clock: one track per configuration,
+// one lb.iteration span per timestep (duration = modeled step time,
+// value = imbalance after the step), bracketed by an lb.run span.
+func virtualTimeline(trackers []*sim.Tracker) ([]obs.Event, map[int]string) {
+	var events []obs.Event
+	names := map[int]string{}
+	for idx, t := range trackers {
+		names[idx] = t.Name
+		cum := time.Duration(0)
+		events = append(events, obs.Event{
+			Type: obs.EvLBBegin, Rank: idx, Peer: -1, Object: -1, Name: t.Name,
+		})
+		for i, st := range t.Series.StepTime {
+			begin := obs.Event{
+				Type: obs.EvIterBegin, Rank: idx, Peer: -1, Object: -1,
+				Iteration: i + 1, Name: t.Name, TS: cum,
+			}
+			if i < len(t.Series.Imbalance) {
+				begin.Value = t.Series.Imbalance[i]
+			}
+			cum += time.Duration(st * float64(time.Second))
+			events = append(events, begin, obs.Event{
+				Type: obs.EvIterEnd, Rank: idx, Peer: -1, Object: -1,
+				Iteration: i + 1, TS: cum,
+			})
+		}
+		events = append(events, obs.Event{
+			Type: obs.EvLBEnd, Rank: idx, Peer: -1, Object: -1, Name: t.Name, TS: cum,
+			Value: float64(cum) / float64(time.Second),
+		})
+	}
+	return events, names
+}
+
+// trackerMetrics summarizes each configuration's accounting as a metrics
+// registry labelled by configuration name.
+func trackerMetrics(trackers []*sim.Tracker) *obs.Metrics {
+	m := obs.NewMetrics()
+	for _, t := range trackers {
+		label := metricLabel(t.Name)
+		m.Counter(fmt.Sprintf("empire_lb_invocations_total{config=%q}", label)).Add(int64(t.LBStats.Invocations))
+		m.Counter(fmt.Sprintf("empire_lb_messages_total{config=%q}", label)).Add(int64(t.LBStats.Messages))
+		m.Counter(fmt.Sprintf("empire_lb_moved_tasks_total{config=%q}", label)).Add(int64(t.LBStats.MovedTasks))
+		m.Gauge(fmt.Sprintf("empire_lb_moved_load{config=%q}", label)).Set(t.LBStats.MovedLoad)
+		total := 0.0
+		for _, st := range t.Series.StepTime {
+			total += st
+		}
+		m.Gauge(fmt.Sprintf("empire_total_step_seconds{config=%q}", label)).Set(total)
+		if n := len(t.Series.Imbalance); n > 0 {
+			m.Gauge(fmt.Sprintf("empire_imbalance_final{config=%q}", label)).Set(t.Series.Imbalance[n-1])
+		}
+	}
+	return m
+}
+
+// metricLabel reduces a configuration name to a label-safe slug.
+func metricLabel(name string) string {
+	name = strings.ToLower(name)
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "_"):
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+// writeExport creates path and streams one exporter into it.
+func writeExport(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

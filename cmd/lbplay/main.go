@@ -6,8 +6,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"temperedlb"
 )
@@ -16,15 +18,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbplay: ")
 	var (
-		strat     = flag.String("strategy", "tempered", "tempered | grapevine | greedy | hier | refine")
-		ranks     = flag.Int("ranks", 64, "number of ranks")
-		tasks     = flag.Int("tasks", 1000, "number of tasks")
-		loaded    = flag.Int("loaded", 4, "initially loaded ranks (clustered placement)")
-		placement = flag.String("placement", "clustered", "clustered | uniform | skewed")
-		loads     = flag.String("loads", "uniform", "unit | uniform | exp | mixture")
-		order     = flag.String("order", "fewest-migrations", "task traversal ordering (tempered)")
-		seed      = flag.Int64("seed", 1, "seed")
-		dist      = flag.Bool("distributed", false, "run the gossip balancer on the real AMT runtime")
+		strat      = flag.String("strategy", "tempered", "tempered | grapevine | greedy | hier | refine")
+		ranks      = flag.Int("ranks", 64, "number of ranks")
+		tasks      = flag.Int("tasks", 1000, "number of tasks")
+		loaded     = flag.Int("loaded", 4, "initially loaded ranks (clustered placement)")
+		placement  = flag.String("placement", "clustered", "clustered | uniform | skewed")
+		loads      = flag.String("loads", "uniform", "unit | uniform | exp | mixture")
+		order      = flag.String("order", "fewest-migrations", "task traversal ordering (tempered)")
+		seed       = flag.Int64("seed", 1, "seed")
+		dist       = flag.Bool("distributed", false, "run the gossip balancer on the real AMT runtime")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in Perfetto); tempered or -distributed runs")
+		metricsOut = flag.String("metrics", "", "write runtime metrics in Prometheus text format to this file (-distributed only)")
 	)
 	flag.Parse()
 
@@ -64,10 +68,17 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(a, *seed)
+		runDistributed(a, *seed, *traceOut, *metricsOut)
 		return
 	}
+	if *metricsOut != "" {
+		log.Fatal("-metrics needs the runtime's registry; combine it with -distributed")
+	}
 
+	var rec *temperedlb.TraceRecorder
+	if *traceOut != "" {
+		rec = temperedlb.NewTraceRecorder()
+	}
 	var s temperedlb.Strategy
 	switch *strat {
 	case "tempered":
@@ -78,6 +89,9 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Order = ord
+		if rec != nil {
+			cfg.Tracer = rec
+		}
 		s = temperedlb.NewTemperedLBWith(cfg)
 	case "grapevine":
 		s = temperedlb.NewGrapevineLB()
@@ -99,13 +113,48 @@ func main() {
 	fmt.Printf("imbalance       %.4f -> %.4f\n", plan.InitialImbalance, plan.FinalImbalance)
 	fmt.Printf("migrations      %d tasks, %.2f load units\n", plan.MovedTasks(), plan.MovedLoad)
 	fmt.Printf("algorithm cost  %d messages, %d epochs\n", plan.Messages, plan.Epochs)
+	if rec != nil {
+		events := rec.Events()
+		if len(events) == 0 {
+			log.Printf("note: strategy %q emits no trace events (only tempered does in engine mode)", *strat)
+		}
+		writeExport(*traceOut, func(w io.Writer) error {
+			return temperedlb.WriteChromeTrace(w, events)
+		})
+		log.Printf("wrote %d trace events to %s", len(events), *traceOut)
+	}
+}
+
+// writeExport creates path and streams one exporter into it.
+func writeExport(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // runDistributed scatters equivalent synthetic objects over a real AMT
-// runtime and executes the distributed protocol.
-func runDistributed(a *temperedlb.Assignment, seed int64) {
+// runtime and executes the distributed protocol, optionally with the
+// observability stack attached.
+func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath string) {
 	n := a.NumRanks()
-	rt := temperedlb.NewRuntime(n)
+	var opts []temperedlb.RuntimeOption
+	var rec *temperedlb.TraceRecorder
+	if tracePath != "" {
+		rec = temperedlb.NewTraceRecorder()
+		opts = append(opts, temperedlb.WithTracer(rec))
+	}
+	if metricsPath != "" {
+		opts = append(opts, temperedlb.WithMetrics())
+	}
+	rt := temperedlb.NewRuntime(n, opts...)
 	h := temperedlb.RegisterLBHandlers(rt, 1)
 	results := make([]temperedlb.DistributedResult, n)
 	rt.Run(func(rc *temperedlb.RankContext) {
@@ -135,4 +184,19 @@ func runDistributed(a *temperedlb.Assignment, seed int64) {
 		res.InitialImbalance, res.FinalImbalance, res.BestTrial, res.BestIteration)
 	fmt.Printf("migrations      %d objects actually moved\n", migs)
 	fmt.Printf("transport       %d messages total (gossip, transfers, termination, commit)\n", rt.TotalMessages())
+	fmt.Printf("protocol cost   %d gossip + %d transfer messages, %.3fs wall clock\n",
+		res.GossipMessages, res.TransferMessages, res.ElapsedSeconds)
+	if rec != nil {
+		events := rec.Events()
+		writeExport(tracePath, func(w io.Writer) error {
+			return temperedlb.WriteChromeTrace(w, events)
+		})
+		log.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)", len(events), tracePath)
+	}
+	if metricsPath != "" {
+		writeExport(metricsPath, func(w io.Writer) error {
+			return temperedlb.WritePrometheus(w, rt.Metrics())
+		})
+		log.Printf("wrote metrics to %s", metricsPath)
+	}
 }

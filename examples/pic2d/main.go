@@ -7,12 +7,21 @@
 // ranks — the EMPIRE pattern of the paper's §VI at laptop scale.
 //
 //	go run ./examples/pic2d
+//
+// Pass -trace (and/or -metrics) to watch the protocol work: the whole
+// run — phases, exchange epochs, gossip, migrations, termination tokens
+// — is exported as a Chrome trace with one track per rank, loadable in
+// ui.perfetto.dev.
+//
+//	go run ./examples/pic2d -trace pic2d.trace.json -metrics pic2d.prom
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 
@@ -59,8 +68,22 @@ const (
 )
 
 func main() {
-	rt := temperedlb.NewRuntime(numRanks)
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
+	metricsOut := flag.String("metrics", "", "write runtime metrics in Prometheus text format")
+	flag.Parse()
+
+	var opts []temperedlb.RuntimeOption
+	var rec *temperedlb.TraceRecorder
+	if *traceOut != "" {
+		rec = temperedlb.NewTraceRecorder()
+		opts = append(opts, temperedlb.WithTracer(rec))
+	}
+	if *metricsOut != "" {
+		opts = append(opts, temperedlb.WithMetrics())
+	}
+	rt := temperedlb.NewRuntime(numRanks, opts...)
 	lbh := temperedlb.RegisterLBHandlers(rt, lbBase)
+	rt.NameHandler(hExchange, "pic2d.exchange")
 
 	rt.RegisterObject(hExchange, func(rc *temperedlb.RankContext, obj temperedlb.ObjectID, state any, from temperedlb.Rank, data any) {
 		c := state.(*color)
@@ -189,4 +212,31 @@ func main() {
 		log.Fatal("no LB invocations ran")
 	}
 	fmt.Println("done: load balancing tracked the drifting particle cloud")
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := temperedlb.WriteChromeTrace(f, rec.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s — open it at ui.perfetto.dev\n", len(rec.Events()), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := temperedlb.WritePrometheus(f, rt.Metrics()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
 }

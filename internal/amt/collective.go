@@ -3,9 +3,11 @@ package amt
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
+	"temperedlb/internal/obs"
 )
 
 // ReduceOp selects the combining operation of AllReduce.
@@ -33,6 +35,25 @@ func (op ReduceOp) combine(a, b float64) float64 {
 	}
 }
 
+// collStart opens a collective's instrumentation window; the returned
+// closer emits the EvCollective span and bumps the counter. Both calls
+// are single nil-checks when observability is off.
+func (rc *Context) collStart(name string) func() {
+	if rc.tr == nil && rc.ins == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		if rc.tr != nil {
+			rc.Emit(obs.Event{Type: obs.EvCollective, Peer: -1, Object: -1,
+				Name: name, Dur: time.Since(start)})
+		}
+		if rc.ins != nil {
+			rc.ins.collectives.Inc()
+		}
+	}
+}
+
 type barrierArrive struct{ Seq int64 }
 
 type reduceArrive struct {
@@ -51,6 +72,7 @@ type reduceResult struct {
 // coordinated by rank 0. While waiting, the rank keeps scheduling
 // incoming messages, so application traffic cannot deadlock a barrier.
 func (rc *Context) Barrier() {
+	defer rc.collStart("barrier")()
 	rc.collSeq++
 	seq := rc.collSeq
 	if rc.rank == 0 {
@@ -89,6 +111,7 @@ func (rc *Context) onBarrierArrive(m comm.Message) {
 // result on every rank. This is the constant-size statistics all-reduce
 // that precedes every LB invocation (§IV-B).
 func (rc *Context) AllReduce(value float64, op ReduceOp) float64 {
+	defer rc.collStart("allreduce")()
 	rc.collSeq++
 	seq := rc.collSeq
 	if rc.rank == 0 {
@@ -159,6 +182,7 @@ type gatherResult struct {
 // vector, indexed by rank, on every rank. Like the other collectives it
 // must be called by all ranks in matching order.
 func (rc *Context) AllGather(value float64) []float64 {
+	defer rc.collStart("allgather")()
 	rc.collSeq++
 	seq := rc.collSeq
 	if rc.rank == 0 {
@@ -210,4 +234,80 @@ type gather struct {
 	values []float64
 	seen   []bool
 	count  int
+}
+
+type vecArrive struct {
+	Seq    int64
+	Values []float64
+	Op     ReduceOp
+}
+
+type vecResult struct {
+	Seq    int64
+	Values []float64
+}
+
+type vecReduce struct {
+	count int
+	acc   []float64
+	op    ReduceOp
+}
+
+// AllReduceVec combines a fixed-width vector elementwise across all
+// ranks with op and returns the result on every rank — one collective
+// where a loop of AllReduce calls would cost a round-trip per element.
+// The distributed balancer uses it to aggregate its per-iteration
+// statistics in a single exchange. All ranks must pass the same length.
+func (rc *Context) AllReduceVec(values []float64, op ReduceOp) []float64 {
+	defer rc.collStart("allreduce_vec")()
+	rc.collSeq++
+	seq := rc.collSeq
+	in := append([]float64(nil), values...)
+	if rc.rank == 0 {
+		rc.onVecArrive(comm.Message{From: 0, Data: vecArrive{Seq: seq, Values: in, Op: op}})
+	} else {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: 0, Kind: kindReduceVec,
+			Data: vecArrive{Seq: seq, Values: in, Op: op},
+		})
+	}
+	for rc.vecResult[seq] == nil {
+		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		if !ok {
+			panic("amt: network closed inside allreduce_vec")
+		}
+		rc.dispatch(m)
+	}
+	v := rc.vecResult[seq]
+	delete(rc.vecResult, seq)
+	return v
+}
+
+func (rc *Context) onVecArrive(m comm.Message) {
+	va := m.Data.(vecArrive)
+	st := rc.vecState[va.Seq]
+	if st == nil {
+		st = &vecReduce{acc: append([]float64(nil), va.Values...), op: va.Op, count: 1}
+		rc.vecState[va.Seq] = st
+	} else {
+		if len(va.Values) != len(st.acc) {
+			panic(fmt.Sprintf("amt: AllReduceVec length mismatch: %d vs %d",
+				len(va.Values), len(st.acc)))
+		}
+		for i, v := range va.Values {
+			st.acc[i] = st.op.combine(st.acc[i], v)
+		}
+		st.count++
+	}
+	if st.count == rc.n {
+		delete(rc.vecState, va.Seq)
+		rc.vecResult[va.Seq] = st.acc // local result for rank 0
+		for r := 1; r < rc.n; r++ {
+			out := append([]float64(nil), st.acc...)
+			rc.rt.nw.Send(comm.Message{
+				From: 0, To: r, Kind: kindReduceVecResult,
+				Data: vecResult{Seq: va.Seq, Values: out},
+			})
+		}
+	}
 }

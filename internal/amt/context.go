@@ -2,9 +2,11 @@ package amt
 
 import (
 	"fmt"
+	"time"
 
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
+	"temperedlb/internal/obs"
 	"temperedlb/internal/termination"
 )
 
@@ -22,6 +24,8 @@ const (
 	kindReduceResult
 	kindGather
 	kindGatherResult
+	kindReduceVec
+	kindReduceVecResult
 )
 
 // envelope wraps user payloads with the epoch tag used by termination
@@ -80,14 +84,22 @@ type Context struct {
 	redState     map[int64]*reduce // rank 0: accumulation per reduce seq
 	redResult    map[int64]float64 // results received
 	redHasResult map[int64]bool
-	gatherState  map[int64]*gather   // rank 0: accumulation per gather seq
-	gatherResult map[int64][]float64 // results received
+	gatherState  map[int64]*gather    // rank 0: accumulation per gather seq
+	gatherResult map[int64][]float64  // results received
+	vecState     map[int64]*vecReduce // rank 0: accumulation per vector reduce seq
+	vecResult    map[int64][]float64  // results received
 
 	objects  map[ObjectID]any
 	location map[ObjectID]core.Rank
 	objSeq   int64
 
 	phase phaseState
+
+	// tr and ins mirror the runtime's tracer and metric handles; both are
+	// nil when observability is off, so instrumented paths pay one
+	// pointer comparison.
+	tr  obs.Tracer
+	ins *instruments
 
 	// Stats counts this rank's traffic for experiment accounting.
 	Stats ContextStats
@@ -123,8 +135,12 @@ func newContext(rt *Runtime, rank core.Rank) *Context {
 		redHasResult: make(map[int64]bool),
 		gatherState:  make(map[int64]*gather),
 		gatherResult: make(map[int64][]float64),
+		vecState:     make(map[int64]*vecReduce),
+		vecResult:    make(map[int64][]float64),
 		objects:      make(map[ObjectID]any),
 		location:     make(map[ObjectID]core.Rank),
+		tr:           rt.tracer,
+		ins:          rt.ins,
 	}
 }
 
@@ -133,6 +149,26 @@ func (rc *Context) Rank() core.Rank { return rc.rank }
 
 // NumRanks returns the number of ranks.
 func (rc *Context) NumRanks() int { return rc.n }
+
+// Tracer returns the runtime's tracer, nil when tracing is disabled.
+// Application code (the distributed balancer) uses it to emit its own
+// protocol events alongside the runtime's.
+func (rc *Context) Tracer() obs.Tracer { return rc.tr }
+
+// Metrics returns the runtime's metrics registry, nil when disabled.
+// Use at setup time to resolve instrument handles; do not call per
+// event.
+func (rc *Context) Metrics() *obs.Metrics { return rc.rt.metrics }
+
+// Emit stamps the event with this context's rank and forwards it to the
+// tracer; a no-op when tracing is disabled.
+func (rc *Context) Emit(e obs.Event) {
+	if rc.tr == nil {
+		return
+	}
+	e.Rank = int(rc.rank)
+	rc.tr.Emit(e)
+}
 
 // Send delivers an active message to the named handler on rank to. Sends
 // made while an epoch is open are counted by its termination detection.
@@ -217,6 +253,14 @@ func (rc *Context) Epoch(body func()) {
 	rc.Stats.EpochsRun++
 	d := rc.detector(rc.epochSeq)
 
+	var epochStart time.Time
+	if rc.tr != nil || rc.ins != nil {
+		epochStart = time.Now()
+	}
+	if rc.tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvEpochOpen, Peer: -1, Object: -1, Epoch: rc.epochSeq})
+	}
+
 	// Deliver messages that raced ahead of our entry.
 	if stash := rc.pending[rc.epochSeq]; len(stash) > 0 {
 		delete(rc.pending, rc.epochSeq)
@@ -242,6 +286,10 @@ func (rc *Context) Epoch(body func()) {
 		}
 		// Passive: participate in the termination probe.
 		if t, next, send := d.TryHandOff(); send {
+			if rc.tr != nil {
+				rc.Emit(obs.Event{Type: obs.EvTokenRound, Peer: next, Object: -1,
+					Epoch: rc.epochSeq, Value: float64(t.Wave)})
+			}
 			rc.rt.nw.Send(comm.Message{
 				From: int(rc.rank), To: next, Kind: kindToken,
 				Data: tokenEnvelope{EpochID: rc.epochSeq, Token: t},
@@ -264,8 +312,21 @@ func (rc *Context) Epoch(body func()) {
 		}
 		rc.dispatch(m)
 	}
+	waves := d.Wave()
 	rc.inEpoch = false
 	delete(rc.detectors, rc.epochSeq)
+	if rc.tr != nil || rc.ins != nil {
+		elapsed := time.Since(epochStart)
+		if rc.tr != nil {
+			rc.Emit(obs.Event{Type: obs.EvEpochClose, Peer: -1, Object: -1,
+				Epoch: rc.epochSeq, Value: float64(waves), Dur: elapsed})
+		}
+		if rc.ins != nil {
+			rc.ins.epochs.Inc()
+			rc.ins.epochSeconds.Observe(int(rc.rank), elapsed.Seconds())
+			rc.ins.tokenRounds.Add(int64(waves))
+		}
+	}
 }
 
 // dispatch routes one transport message. Counted messages belonging to a
@@ -283,7 +344,14 @@ func (rc *Context) dispatch(m comm.Message) {
 	case kindUser:
 		env := m.Data.(envelope)
 		rc.countReceive(env.EpochID)
-		rc.rt.handlers[HandlerID(m.Handler)](rc, core.Rank(m.From), env.Data)
+		h := HandlerID(m.Handler)
+		if rc.tr == nil && rc.ins == nil {
+			rc.rt.handlers[h](rc, core.Rank(m.From), env.Data)
+		} else {
+			rc.timedHandler(h, m.From, -1, func() {
+				rc.rt.handlers[h](rc, core.Rank(m.From), env.Data)
+			})
+		}
 	case kindObject:
 		rc.dispatchObject(m)
 	case kindMigrate:
@@ -317,8 +385,30 @@ func (rc *Context) dispatch(m comm.Message) {
 	case kindGatherResult:
 		gr := m.Data.(gatherResult)
 		rc.gatherResult[gr.Seq] = gr.Values
+	case kindReduceVec:
+		rc.onVecArrive(m)
+	case kindReduceVecResult:
+		vr := m.Data.(vecResult)
+		rc.vecResult[vr.Seq] = vr.Values
 	default:
 		panic(fmt.Sprintf("amt: unknown message kind %d", m.Kind))
+	}
+}
+
+// timedHandler runs a handler invocation under the tracer/metrics
+// instrumentation. Only called when at least one of the two is active;
+// the uninstrumented dispatch path never reaches it.
+func (rc *Context) timedHandler(h HandlerID, from int, obj ObjectID, run func()) {
+	start := time.Now()
+	run()
+	elapsed := time.Since(start)
+	if rc.tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvHandler, Peer: from, Object: int64(obj),
+			Name: rc.rt.handlerName(h), Dur: elapsed})
+	}
+	if rc.ins != nil {
+		rc.ins.handlerCalls.Inc()
+		rc.ins.handlerSeconds.Observe(int(rc.rank), elapsed.Seconds())
 	}
 }
 

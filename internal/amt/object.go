@@ -5,6 +5,7 @@ import (
 
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
+	"temperedlb/internal/obs"
 )
 
 // ObjectID identifies a migratable object. The home rank (its creator)
@@ -94,7 +95,7 @@ func (rc *Context) routeObject(m comm.Message) {
 	if m.To == int(rc.rank) {
 		env := m.Data.(objEnvelope)
 		if state, ok := rc.objects[env.Obj]; ok {
-			rc.rt.objHandlers[HandlerID(m.Handler)](rc, env.Obj, state, env.Origin, env.Data)
+			rc.runObjectHandler(HandlerID(m.Handler), env, state)
 			return
 		}
 		// We believe it is here but it is not (already migrated away):
@@ -114,7 +115,7 @@ func (rc *Context) dispatchObject(m comm.Message) {
 	env := m.Data.(objEnvelope)
 	rc.countReceive(env.EpochID)
 	if state, ok := rc.objects[env.Obj]; ok {
-		rc.rt.objHandlers[HandlerID(m.Handler)](rc, env.Obj, state, env.Origin, env.Data)
+		rc.runObjectHandler(HandlerID(m.Handler), env, state)
 		return
 	}
 	next := rc.bestKnown(env.Obj)
@@ -150,9 +151,29 @@ func (rc *Context) Migrate(id ObjectID, dest core.Rank) {
 	bytes := comm.MeasureBytes(state)
 	rc.Stats.Migrations++
 	rc.Stats.MigrationBytes += bytes
+	if rc.tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvMigration, Peer: int(dest),
+			Object: int64(id), Bytes: bytes})
+	}
+	if rc.ins != nil {
+		rc.ins.migrations.Inc()
+		rc.ins.migrationBytes.Add(int64(bytes))
+	}
 	rc.send(comm.Message{
 		From: int(rc.rank), To: int(dest), Kind: kindMigrate,
 		Data: migrateEnvelope{EpochID: rc.activeEpoch(), Obj: id, State: state, Bytes: bytes},
+	})
+}
+
+// runObjectHandler invokes an object handler, under the timing
+// instrumentation when observability is on.
+func (rc *Context) runObjectHandler(h HandlerID, env objEnvelope, state any) {
+	if rc.tr == nil && rc.ins == nil {
+		rc.rt.objHandlers[h](rc, env.Obj, state, env.Origin, env.Data)
+		return
+	}
+	rc.timedHandler(h, int(env.Origin), env.Obj, func() {
+		rc.rt.objHandlers[h](rc, env.Obj, state, env.Origin, env.Data)
 	})
 }
 

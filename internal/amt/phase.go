@@ -1,6 +1,10 @@
 package amt
 
-import "fmt"
+import (
+	"fmt"
+
+	"temperedlb/internal/obs"
+)
 
 // phaseState is the per-rank instrumentation of the current application
 // phase (§III-B): observed work per local object. The principle of
@@ -38,6 +42,9 @@ func (rc *Context) PhaseBegin() {
 	}
 	rc.phase.active = true
 	rc.phase.loads = make(map[ObjectID]float64)
+	if rc.tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvPhaseBegin, Peer: -1, Object: -1})
+	}
 }
 
 // RecordWork attributes load to a local object during the open phase.
@@ -68,5 +75,8 @@ func (rc *Context) PhaseEnd() PhaseStats {
 		st.Total += l
 	}
 	rc.phase.loads = nil
+	if rc.tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvPhaseEnd, Peer: -1, Object: -1, Value: st.Total})
+	}
 	return st
 }

@@ -22,6 +22,7 @@ import (
 
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
+	"temperedlb/internal/obs"
 )
 
 // HandlerID names a registered active-message handler.
@@ -39,24 +40,147 @@ type ObjectHandler func(rc *Context, obj ObjectID, state any, from core.Rank, da
 // Runtime owns the transport and the handler registries shared by all
 // ranks. Register all handlers before calling Run.
 type Runtime struct {
-	n           int
-	nw          *comm.Network
-	handlers    map[HandlerID]Handler
-	objHandlers map[HandlerID]ObjectHandler
-	running     bool
+	n            int
+	nw           *comm.Network
+	handlers     map[HandlerID]Handler
+	objHandlers  map[HandlerID]ObjectHandler
+	handlerNames map[HandlerID]string
+	running      bool
+
+	tracer  obs.Tracer
+	metrics *obs.Metrics
+	ins     *instruments
+}
+
+// instruments caches the resolved metric handles so the instrumented
+// paths never touch the registry's lock; a nil *instruments disables
+// metric recording entirely (one pointer check on the hot path).
+type instruments struct {
+	handlerCalls   *obs.Counter
+	handlerSeconds *obs.Histogram
+	epochs         *obs.Counter
+	epochSeconds   *obs.Histogram
+	tokenRounds    *obs.Counter
+	migrations     *obs.Counter
+	migrationBytes *obs.Counter
+	collectives    *obs.Counter
+}
+
+// Option configures a Runtime at construction.
+type Option func(*Runtime)
+
+// WithTracer attaches a protocol tracer; every epoch, handler dispatch,
+// collective, migration, termination-token round and phase boundary is
+// emitted to it. A nil tracer (the default) costs the instrumented
+// paths a single pointer comparison.
+func WithTracer(t obs.Tracer) Option {
+	return func(rt *Runtime) { rt.SetTracer(t) }
+}
+
+// WithMetrics enables the runtime's metrics registry (see
+// EnableMetrics).
+func WithMetrics() Option {
+	return func(rt *Runtime) { rt.EnableMetrics() }
 }
 
 // New creates a runtime over n logical ranks.
-func New(n int) *Runtime {
+func New(n int, opts ...Option) *Runtime {
 	if n < 1 {
 		panic(fmt.Sprintf("amt: New: n must be >= 1, got %d", n))
 	}
-	return &Runtime{
-		n:           n,
-		nw:          comm.NewNetwork(n),
-		handlers:    make(map[HandlerID]Handler),
-		objHandlers: make(map[HandlerID]ObjectHandler),
+	rt := &Runtime{
+		n:            n,
+		nw:           comm.NewNetwork(n),
+		handlers:     make(map[HandlerID]Handler),
+		objHandlers:  make(map[HandlerID]ObjectHandler),
+		handlerNames: make(map[HandlerID]string),
 	}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	return rt
+}
+
+// SetTracer attaches a protocol tracer. Call before Run.
+func (rt *Runtime) SetTracer(t obs.Tracer) {
+	rt.mustNotRun("SetTracer")
+	rt.tracer = t
+}
+
+// EnableMetrics switches on the runtime's metrics registry and the
+// transport's payload byte accounting, and returns the registry. It is
+// idempotent; call before Run.
+func (rt *Runtime) EnableMetrics() *obs.Metrics {
+	rt.mustNotRun("EnableMetrics")
+	if rt.metrics != nil {
+		return rt.metrics
+	}
+	m := obs.NewMetrics()
+	lat := obs.DefaultLatencyBounds()
+	rt.ins = &instruments{
+		handlerCalls:   m.Counter("amt_handler_invocations_total"),
+		handlerSeconds: m.Histogram("amt_handler_seconds", lat),
+		epochs:         m.Counter("amt_epochs_total"),
+		epochSeconds:   m.Histogram("amt_epoch_seconds", lat),
+		tokenRounds:    m.Counter("termination_token_rounds_total"),
+		migrations:     m.Counter("amt_migrations_total"),
+		migrationBytes: m.Counter("amt_migration_bytes_total"),
+		collectives:    m.Counter("amt_collectives_total"),
+	}
+	rt.metrics = m
+	rt.nw.EnableByteAccounting()
+	return m
+}
+
+// kindNames maps transport kinds to the labels of the comm_* metric
+// families; keep in sync with the kind constants in context.go.
+var kindNames = [...]string{
+	"user", "object", "migrate", "locupdate", "token", "done",
+	"barrier", "release", "reduce", "reduce_result",
+	"gather", "gather_result", "reduce_vec", "reduce_vec_result",
+}
+
+// Metrics returns the runtime's registry with the transport-level
+// per-kind message and byte totals folded in as of the call, or nil when
+// metrics were not enabled. Safe to call during and after Run.
+func (rt *Runtime) Metrics() *obs.Metrics {
+	if rt.metrics == nil {
+		return nil
+	}
+	var msgs, bytes int64
+	for k, name := range kindNames {
+		sent := rt.nw.SentByKind(comm.Kind(k))
+		b := rt.nw.BytesByKind(comm.Kind(k))
+		msgs += sent
+		bytes += b
+		if sent > 0 {
+			rt.metrics.Counter(fmt.Sprintf("comm_messages_total{kind=%q}", name)).Store(sent)
+		}
+		if b > 0 {
+			rt.metrics.Counter(fmt.Sprintf("comm_bytes_total{kind=%q}", name)).Store(b)
+		}
+	}
+	rt.metrics.Counter("comm_messages_all_total").Store(msgs)
+	rt.metrics.Counter("comm_bytes_all_total").Store(bytes)
+	return rt.metrics
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (rt *Runtime) Tracer() obs.Tracer { return rt.tracer }
+
+// NameHandler gives a registered handler a human-readable name used in
+// trace events and exports; unnamed handlers appear as "h<id>".
+func (rt *Runtime) NameHandler(id HandlerID, name string) {
+	rt.mustNotRun("NameHandler")
+	rt.handlerNames[id] = name
+}
+
+// handlerName resolves the display name of a handler id.
+func (rt *Runtime) handlerName(id HandlerID) string {
+	if n, ok := rt.handlerNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("h%d", id)
 }
 
 // NumRanks returns the number of logical ranks.

@@ -29,8 +29,18 @@ type Message struct {
 	Data     any
 }
 
+// MaxKinds bounds the Kind value space for the per-kind accounting
+// arrays; the runtime uses a dozen kinds, so a fixed array keeps the
+// counters allocation-free and index-addressable.
+const MaxKinds = 32
+
 // Network connects n ranks with reliable, per-sender-FIFO, asynchronous
 // delivery. Sends never block (inboxes are unbounded); receives may.
+//
+// The network always counts messages per kind (one atomic add per send).
+// Payload byte accounting — sizing every message's Data with the
+// reflection-based EstimateBytes — is opt-in via EnableByteAccounting
+// because the walk costs far more than the send itself.
 type Network struct {
 	n       int
 	inboxes []*inbox
@@ -39,6 +49,10 @@ type Network struct {
 	closed  atomic.Bool
 	jitter  time.Duration
 	jrng    atomic.Uint64
+
+	sentKind  [MaxKinds]atomic.Int64
+	bytesKind [MaxKinds]atomic.Int64
+	countB    atomic.Bool
 }
 
 // NewNetwork creates a network of n ranks.
@@ -81,8 +95,15 @@ func (nw *Network) Send(m Message) {
 	if nw.closed.Load() {
 		panic("comm: Send on closed network")
 	}
+	if m.Kind < 0 || m.Kind >= MaxKinds {
+		panic(fmt.Sprintf("comm: Send with kind %d out of [0,%d)", m.Kind, MaxKinds))
+	}
 	m.Seq = nw.seq[m.From].Add(1)
 	nw.sent.Add(1)
+	nw.sentKind[m.Kind].Add(1)
+	if nw.countB.Load() {
+		nw.bytesKind[m.Kind].Add(int64(EstimateBytes(m.Data)))
+	}
 	if nw.jitter > 0 {
 		// xorshift over an atomic word keeps the delay stream cheap and
 		// lock-free across concurrent senders.
@@ -102,6 +123,41 @@ func (nw *Network) Send(m Message) {
 
 // TotalSent returns the number of messages sent on the network so far.
 func (nw *Network) TotalSent() int64 { return nw.sent.Load() }
+
+// EnableByteAccounting turns on per-kind payload byte accounting: every
+// subsequent Send sizes its Data with EstimateBytes. Counts accumulated
+// before enabling are unaffected (their bytes were never measured).
+func (nw *Network) EnableByteAccounting() { nw.countB.Store(true) }
+
+// ByteAccounting reports whether payload sizing is enabled.
+func (nw *Network) ByteAccounting() bool { return nw.countB.Load() }
+
+// SentByKind returns the number of messages of the given kind sent so
+// far.
+func (nw *Network) SentByKind(k Kind) int64 {
+	if k < 0 || k >= MaxKinds {
+		return 0
+	}
+	return nw.sentKind[k].Load()
+}
+
+// BytesByKind returns the accumulated payload bytes of the given kind;
+// zero unless byte accounting was enabled before the traffic flowed.
+func (nw *Network) BytesByKind(k Kind) int64 {
+	if k < 0 || k >= MaxKinds {
+		return 0
+	}
+	return nw.bytesKind[k].Load()
+}
+
+// TotalBytes sums the accounted payload bytes over all kinds.
+func (nw *Network) TotalBytes() int64 {
+	total := int64(0)
+	for k := range nw.bytesKind {
+		total += nw.bytesKind[k].Load()
+	}
+	return total
+}
 
 // Recv pops the next message for rank without blocking; ok is false when
 // the inbox is empty.

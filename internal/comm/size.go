@@ -1,0 +1,126 @@
+package comm
+
+import "reflect"
+
+// EstimateBytes approximates the wire size of an arbitrary payload by
+// walking it with reflection: fixed-size kinds count their in-memory
+// width, strings and slices their headers plus contents, maps a
+// per-entry overhead plus keys and values. Unlike MeasureBytes it needs
+// no gob registration, so it can size the runtime's envelopes whose
+// interface-typed fields hold arbitrary application data — that is what
+// the transport's byte accounting uses. Shared pointers are counted
+// once; cyclic structures terminate.
+func EstimateBytes(v any) int {
+	if v == nil {
+		return 0
+	}
+	seen := map[uintptr]bool{}
+	return sizeOf(reflect.ValueOf(v), seen)
+}
+
+const (
+	ptrSize       = 8
+	sliceHeader   = 3 * ptrSize
+	stringHeader  = 2 * ptrSize
+	ifaceHeader   = 2 * ptrSize
+	mapEntryExtra = ptrSize // bucket bookkeeping per entry, roughly
+)
+
+func sizeOf(v reflect.Value, seen map[uintptr]bool) int {
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int64, reflect.Uint64, reflect.Float64,
+		reflect.Int, reflect.Uint, reflect.Uintptr:
+		return 8
+	case reflect.Complex64:
+		return 8
+	case reflect.Complex128:
+		return 16
+	case reflect.String:
+		return stringHeader + v.Len()
+	case reflect.Slice:
+		if v.IsNil() {
+			return sliceHeader
+		}
+		n := sliceHeader
+		if elemFixed(v.Type().Elem()) {
+			return n + v.Len()*int(v.Type().Elem().Size())
+		}
+		for i := 0; i < v.Len(); i++ {
+			n += sizeOf(v.Index(i), seen)
+		}
+		return n
+	case reflect.Array:
+		if elemFixed(v.Type().Elem()) {
+			return int(v.Type().Size())
+		}
+		n := 0
+		for i := 0; i < v.Len(); i++ {
+			n += sizeOf(v.Index(i), seen)
+		}
+		return n
+	case reflect.Map:
+		if v.IsNil() {
+			return ptrSize
+		}
+		n := ptrSize
+		iter := v.MapRange()
+		for iter.Next() {
+			n += mapEntryExtra + sizeOf(iter.Key(), seen) + sizeOf(iter.Value(), seen)
+		}
+		return n
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < v.NumField(); i++ {
+			n += sizeOf(v.Field(i), seen)
+		}
+		return n
+	case reflect.Pointer:
+		if v.IsNil() {
+			return ptrSize
+		}
+		if p := v.Pointer(); seen[p] {
+			return ptrSize
+		} else {
+			seen[p] = true
+		}
+		return ptrSize + sizeOf(v.Elem(), seen)
+	case reflect.Interface:
+		if v.IsNil() {
+			return ifaceHeader
+		}
+		return ifaceHeader + sizeOf(v.Elem(), seen)
+	default:
+		// Chan, Func, UnsafePointer: count the word, contents are not
+		// meaningful on a wire anyway.
+		return ptrSize
+	}
+}
+
+// elemFixed reports whether a type's size is fully captured by
+// Type.Size() — no indirection to chase.
+func elemFixed(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return elemFixed(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !elemFixed(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

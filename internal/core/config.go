@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"temperedlb/internal/obs"
+)
 
 // Criterion selects the transfer acceptance test of Algorithm 2
 // (EVALUATECRITERION, lines 33–39).
@@ -200,6 +204,12 @@ type Config struct {
 	// p' = (1−CommBias)·p_cmf + CommBias·p_affinity, steering tasks
 	// toward ranks hosting their communication partners.
 	CommBias float64
+
+	// Tracer, when non-nil, receives lb.run and lb.iteration span events
+	// from the synchronous engine (the distributed balancer uses the
+	// runtime's tracer instead). Nil — the default — costs one pointer
+	// comparison per iteration.
+	Tracer obs.Tracer
 }
 
 // Grapevine returns the configuration matching the original GrapevineLB

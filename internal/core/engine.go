@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
+
+	"temperedlb/internal/obs"
 )
 
 // IterationStats records the accounting of one inform+transfer pass —
@@ -37,6 +40,12 @@ type IterationStats struct {
 	// Imbalance is I of the working distribution after this iteration's
 	// transfers were applied.
 	Imbalance float64
+
+	// ElapsedSeconds is the wall-clock time the iteration took. In the
+	// synchronous engine that is the simulation cost of the pass; in the
+	// distributed balancer it is the slowest rank's inform+transfer+
+	// evaluate time.
+	ElapsedSeconds float64
 }
 
 // RejectionRate returns Rejected/(Transfers+Rejected) in percent, the
@@ -136,6 +145,12 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 	}
 	res.FinalImbalance = res.InitialImbalance
 
+	tr := e.cfg.Tracer
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvLBBegin, Peer: -1, Object: -1,
+			Value: res.InitialImbalance})
+	}
+
 	numRanks := a.NumRanks()
 	var bestOwners []Rank
 
@@ -151,6 +166,11 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 
 		for iter := 1; iter <= e.cfg.Iterations; iter++ {
 			st := IterationStats{Trial: trial, Iteration: iter}
+			iterStart := time.Now()
+			if tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvIterBegin, Peer: -1, Object: -1,
+					Trial: trial, Iteration: iter})
+			}
 
 			if !e.cfg.PersistKnowledge || iter == 1 {
 				for _, s := range states {
@@ -161,6 +181,12 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			e.transferPass(work, ave, g, states, transferRNG, orderRNG, &st)
 
 			st.Imbalance = work.Imbalance() // Algorithm 3 line 9
+			st.ElapsedSeconds = time.Since(iterStart).Seconds()
+			if tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvIterEnd, Peer: -1, Object: -1,
+					Trial: trial, Iteration: iter, Value: st.Imbalance,
+					Dur: time.Since(iterStart)})
+			}
 			res.History = append(res.History, st)
 			if st.Imbalance < res.FinalImbalance { // line 10: keep the best
 				res.FinalImbalance = st.Imbalance
@@ -168,6 +194,11 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 				bestOwners = work.Owners()
 			}
 		}
+	}
+
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
+			Value: res.FinalImbalance})
 	}
 
 	if bestOwners != nil {

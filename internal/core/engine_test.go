@@ -107,8 +107,16 @@ func TestEngineDeterministic(t *testing.T) {
 		}
 	}
 	for i := range r1.History {
-		if r1.History[i] != r2.History[i] {
-			t.Fatalf("history entry %d differs: %+v vs %+v", i, r1.History[i], r2.History[i])
+		// ElapsedSeconds is wall-clock and legitimately varies between
+		// runs; everything else must be bit-identical.
+		h1, h2 := r1.History[i], r2.History[i]
+		if h1.ElapsedSeconds <= 0 || h2.ElapsedSeconds <= 0 {
+			t.Errorf("history entry %d missing elapsed time: %g vs %g",
+				i, h1.ElapsedSeconds, h2.ElapsedSeconds)
+		}
+		h1.ElapsedSeconds, h2.ElapsedSeconds = 0, 0
+		if h1 != h2 {
+			t.Fatalf("history entry %d differs: %+v vs %+v", i, h1, h2)
 		}
 	}
 }

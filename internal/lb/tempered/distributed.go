@@ -1,10 +1,13 @@
 package tempered
 
 import (
+	"math"
 	"sort"
+	"time"
 
 	"temperedlb/internal/amt"
 	"temperedlb/internal/core"
+	"temperedlb/internal/obs"
 )
 
 // Handlers bundles the active-message handlers the distributed balancer
@@ -22,6 +25,14 @@ type Handlers struct {
 type rankState struct {
 	inform  *core.InformState
 	virtual map[amt.ObjectID]float64
+
+	// trial and iter locate the current refinement step for trace
+	// stamps; gossipSent/gossipEntries count this rank's outgoing gossip
+	// traffic within the current iteration (Begin seeds plus handler
+	// forwards), feeding the per-iteration stats reduce.
+	trial, iter   int
+	gossipSent    int
+	gossipEntries int
 }
 
 // xferMsg proposes one task relocation: the sender cedes the (virtual)
@@ -44,13 +55,28 @@ func RegisterHandlers(rt *amt.Runtime, base amt.HandlerID) *Handlers {
 	for r := range h.st {
 		h.st[r] = &rankState{}
 	}
+	rt.NameHandler(h.gossip, "lb.gossip")
+	rt.NameHandler(h.xfer, "lb.transfer")
+	rt.NameHandler(h.fetch, "lb.fetch")
 	rt.Register(h.gossip, func(rc *amt.Context, from core.Rank, data any) {
 		st := h.st[rc.Rank()]
 		if st.inform == nil {
 			panic("tempered: gossip before iteration setup")
 		}
-		sends, _ := st.inform.Receive(data.(core.InformMsg))
+		m := data.(core.InformMsg)
+		tracing := rc.Tracer() != nil
+		if tracing {
+			rc.Emit(obs.Event{Type: obs.EvInformRecv, Peer: int(from), Object: -1,
+				Trial: st.trial, Iteration: st.iter, Value: float64(len(m.Entries))})
+		}
+		sends, _ := st.inform.Receive(m)
 		for _, s := range sends {
+			st.gossipSent++
+			st.gossipEntries += len(s.Msg.Entries)
+			if tracing {
+				rc.Emit(obs.Event{Type: obs.EvInformSend, Peer: int(s.To), Object: -1,
+					Trial: st.trial, Iteration: st.iter, Value: float64(len(s.Msg.Entries))})
+			}
 			rc.Send(s.To, h.gossip, s.Msg)
 		}
 	})
@@ -65,7 +91,8 @@ func RegisterHandlers(rt *amt.Runtime, base amt.HandlerID) *Handlers {
 }
 
 // DistResult reports a distributed LB invocation from one rank's
-// perspective; the imbalance fields are identical on every rank.
+// perspective; the imbalance fields, History, and the message totals
+// are identical on every rank (they are produced by collectives).
 type DistResult struct {
 	InitialImbalance float64
 	FinalImbalance   float64
@@ -75,6 +102,21 @@ type DistResult struct {
 	// out while committing the chosen distribution.
 	Migrations     int
 	MigrationBytes int
+	// History holds per-iteration accounting aggregated over all ranks —
+	// the distributed equivalents of the synchronous engine's
+	// Result.History rows, reduced with one sum and one max collective
+	// per iteration.
+	History []core.IterationStats
+	// GossipMessages and TransferMessages total the balancer's own
+	// active messages (all ranks, all trials): every gossip message of
+	// the inform stages and every transfer proposal of the transfer
+	// stages. Their sum equals the transport's user-kind message count
+	// when the balancer is the only application traffic.
+	GossipMessages   int
+	TransferMessages int
+	// ElapsedSeconds is this rank's wall-clock time inside the
+	// invocation.
+	ElapsedSeconds float64
 }
 
 // RunDistributed executes the full TemperedLB protocol on the calling
@@ -90,6 +132,8 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	self := rc.Rank()
 	n := rc.NumRanks()
 	st := h.st[self]
+	start := time.Now()
+	tr := rc.Tracer()
 
 	sumLoad := func(w map[amt.ObjectID]float64) float64 {
 		s := 0.0
@@ -105,7 +149,16 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 		InitialImbalance: imbalance(rc.AllReduce(ownLoad, amt.ReduceMax), ave),
 	}
 	res.FinalImbalance = res.InitialImbalance
+	if tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvLBBegin, Peer: -1, Object: -1,
+			Value: res.InitialImbalance})
+	}
 	if total == 0 {
+		if tr != nil {
+			rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
+				Value: res.FinalImbalance, Dur: time.Since(start)})
+		}
+		res.ElapsedSeconds = time.Since(start).Seconds()
 		return res, nil
 	}
 
@@ -118,35 +171,105 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 		xferRNG := core.SeededRNG(cfg.Seed, int64(trial), int64(self), 0x7af)
 
 		for iter := 1; iter <= cfg.Iterations; iter++ {
+			iterStart := time.Now()
+			st.trial, st.iter = trial, iter
+			st.gossipSent, st.gossipEntries = 0, 0
+			if tr != nil {
+				rc.Emit(obs.Event{Type: obs.EvIterBegin, Peer: -1, Object: -1,
+					Trial: trial, Iteration: iter})
+			}
+
 			// Inform stage: asynchronous gossip under termination
 			// detection — no synchronized rounds (§IV-B).
 			st.inform = core.NewInformState(self, n, &cfg, gossipRNG)
 			rc.Epoch(func() {
 				for _, s := range st.inform.Begin(ave, sumLoad(st.virtual)) {
+					st.gossipSent++
+					st.gossipEntries += len(s.Msg.Entries)
+					if tr != nil {
+						rc.Emit(obs.Event{Type: obs.EvInformSend, Peer: int(s.To),
+							Object: -1, Trial: trial, Iteration: iter,
+							Value: float64(len(s.Msg.Entries))})
+					}
 					rc.Send(s.To, h.gossip, s.Msg)
 				}
 			})
 
 			// Transfer stage: every overloaded rank works concurrently
 			// with its gossip-stale knowledge.
+			var xfers int
+			var ts core.TransferStats
+			overloaded, knowledge := 0.0, 0.0
 			rc.Epoch(func() {
 				load := sumLoad(st.virtual)
 				if load <= cfg.Threshold*ave {
 					return
 				}
+				overloaded = 1
+				knowledge = float64(st.inform.Knowledge().Len())
 				tasks, ids := virtualTasks(st.virtual)
-				props, _, _ := core.RunTransfer(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG)
+				props, tstats, _ := core.RunTransfer(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG)
+				ts = tstats
 				for _, p := range props {
 					obj := ids[p.Task]
+					if tr != nil {
+						rc.Emit(obs.Event{Type: obs.EvTransferPropose, Peer: int(p.To),
+							Object: int64(obj), Trial: trial, Iteration: iter,
+							Value: st.virtual[obj]})
+					}
+					xfers++
 					rc.Send(p.To, h.xfer, xferMsg{Obj: obj, Load: st.virtual[obj]})
 					delete(st.virtual, obj)
 				}
+				if tr != nil && ts.Rejected > 0 {
+					rc.Emit(obs.Event{Type: obs.EvTransferReject, Peer: -1, Object: -1,
+						Trial: trial, Iteration: iter, Value: float64(ts.Rejected)})
+				}
+				if tr != nil && ts.NoCandidate > 0 {
+					rc.Emit(obs.Event{Type: obs.EvTransferNoCandidate, Peer: -1, Object: -1,
+						Trial: trial, Iteration: iter, Value: float64(ts.NoCandidate)})
+				}
 			})
 
-			// Evaluate the proposed distribution (Algorithm 3 line 9).
-			iterI := imbalance(rc.AllReduce(sumLoad(st.virtual), amt.ReduceMax), ave)
-			if iterI < res.FinalImbalance {
-				res.FinalImbalance = iterI
+			// Evaluate the proposed distribution (Algorithm 3 line 9) and
+			// aggregate the iteration's accounting: one elementwise sum
+			// and one elementwise max across ranks. KnowledgeMin rides the
+			// max reduce negated (ranks that were not overloaded
+			// contribute -Inf, i.e. they don't constrain the minimum).
+			negKnow := math.Inf(-1)
+			if overloaded > 0 {
+				negKnow = -knowledge
+			}
+			sums := rc.AllReduceVec([]float64{
+				float64(st.gossipSent), float64(st.gossipEntries),
+				float64(xfers), float64(ts.Rejected), float64(ts.NoCandidate),
+				overloaded, overloaded * knowledge,
+			}, amt.ReduceSum)
+			maxes := rc.AllReduceVec([]float64{
+				sumLoad(st.virtual), negKnow, time.Since(iterStart).Seconds(),
+			}, amt.ReduceMax)
+
+			iterStat := core.IterationStats{
+				Trial: trial, Iteration: iter,
+				GossipMessages: int(sums[0]), GossipEntries: int(sums[1]),
+				Transfers: int(sums[2]), Rejected: int(sums[3]), NoCandidate: int(sums[4]),
+				Imbalance:      imbalance(maxes[0], ave),
+				ElapsedSeconds: maxes[2],
+			}
+			if sums[5] > 0 {
+				iterStat.KnowledgeAvg = sums[6] / sums[5]
+				iterStat.KnowledgeMin = int(-maxes[1])
+			}
+			res.History = append(res.History, iterStat)
+			res.GossipMessages += iterStat.GossipMessages
+			res.TransferMessages += iterStat.Transfers
+			if tr != nil {
+				rc.Emit(obs.Event{Type: obs.EvIterEnd, Peer: -1, Object: -1,
+					Trial: trial, Iteration: iter, Value: iterStat.Imbalance,
+					Dur: time.Since(iterStart)})
+			}
+			if iterStat.Imbalance < res.FinalImbalance {
+				res.FinalImbalance = iterStat.Imbalance
 				res.BestTrial, res.BestIteration = trial, iter
 				best = copyWorking(st.virtual)
 			}
@@ -167,6 +290,11 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	})
 	res.Migrations = rc.Stats.Migrations - migBefore
 	res.MigrationBytes = rc.Stats.MigrationBytes - bytesBefore
+	res.ElapsedSeconds = time.Since(start).Seconds()
+	if tr != nil {
+		rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
+			Value: res.FinalImbalance, Dur: time.Since(start)})
+	}
 	return res, nil
 }
 

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// chromePhase classifies an event into a trace_event phase: "B"/"E" for
+// the paired span types, "X" (complete) when a duration was measured,
+// "i" (instant) otherwise.
+func chromePhase(e Event) string {
+	switch e.Type {
+	case EvEpochOpen, EvPhaseBegin, EvIterBegin, EvLBBegin:
+		return "B"
+	case EvEpochClose, EvPhaseEnd, EvIterEnd, EvLBEnd:
+		return "E"
+	}
+	if e.Dur > 0 {
+		return "X"
+	}
+	return "i"
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON loadable
+// by chrome://tracing and Perfetto, with one thread track per rank
+// (pid 0, tid = rank). Events need not be sorted; paired Open/Close
+// types become B/E spans, events carrying a Dur become complete slices,
+// everything else an instant.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceNamed(w, events, nil)
+}
+
+// WriteChromeTraceNamed is WriteChromeTrace with explicit track names:
+// a rank whose number appears in names gets that label instead of the
+// default "rank N" (used e.g. when tracks are simulation configurations
+// rather than real ranks).
+func WriteChromeTraceNamed(w io.Writer, events []Event, names map[int]string) error {
+	sorted := append([]Event(nil), events...)
+	sortEvents(sorted)
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	ranks := map[int]bool{}
+	for _, e := range sorted {
+		ranks[e.Rank] = true
+	}
+	for _, r := range sortedInts(ranks) {
+		name := names[r]
+		if name == "" {
+			name = fmt.Sprintf("rank %d", r)
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: r,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, e := range sorted {
+		ce := chromeEvent{
+			Name: e.Type.String(),
+			Ph:   chromePhase(e),
+			TS:   usec(e.TS),
+			PID:  0,
+			TID:  e.Rank,
+		}
+		if e.Name != "" {
+			ce.Name = e.Type.String() + ":" + e.Name
+		}
+		switch ce.Ph {
+		case "X":
+			// The emitting site stamps events at activity end; Chrome
+			// wants the start.
+			ce.TS = usec(e.TS - e.Dur)
+			ce.Dur = usec(e.Dur)
+		case "i":
+			ce.S = "t"
+		case "E":
+			ce.Name = "" // E inherits the matching B's name
+		}
+		if ce.Ph != "E" {
+			ce.Args = eventArgs(e)
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// eventArgs exposes the informative event fields in the trace UI.
+func eventArgs(e Event) map[string]any {
+	args := map[string]any{}
+	if e.Peer >= 0 {
+		args["peer"] = e.Peer
+	}
+	if e.Trial > 0 {
+		args["trial"] = e.Trial
+	}
+	if e.Iteration > 0 {
+		args["iteration"] = e.Iteration
+	}
+	if e.Epoch != 0 {
+		args["epoch"] = e.Epoch
+	}
+	if e.Object >= 0 {
+		args["object"] = e.Object
+	}
+	if e.Value != 0 {
+		args["value"] = e.Value
+	}
+	if e.Bytes != 0 {
+		args["bytes"] = e.Bytes
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteEventsCSV writes the events as a flat CSV (one row per event,
+// microsecond timestamps), the format the experiment harness ingests
+// alongside internal/sim's per-step series dumps.
+func WriteEventsCSV(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	sortEvents(sorted)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"ts_us", "type", "rank", "peer", "trial", "iteration",
+		"epoch", "object", "value", "bytes", "dur_us", "name",
+	}); err != nil {
+		return err
+	}
+	for _, e := range sorted {
+		rec := []string{
+			strconv.FormatFloat(usec(e.TS), 'f', 3, 64),
+			e.Type.String(),
+			strconv.Itoa(e.Rank),
+			strconv.Itoa(e.Peer),
+			strconv.Itoa(e.Trial),
+			strconv.Itoa(e.Iteration),
+			strconv.FormatInt(e.Epoch, 10),
+			strconv.FormatInt(e.Object, 10),
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+			strconv.Itoa(e.Bytes),
+			strconv.FormatFloat(usec(e.Dur), 'f', 3, 64),
+			e.Name,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonEvent mirrors Event with stable JSON field names.
+type jsonEvent struct {
+	TSMicros  float64 `json:"ts_us"`
+	Type      string  `json:"type"`
+	Rank      int     `json:"rank"`
+	Peer      int     `json:"peer,omitempty"`
+	Trial     int     `json:"trial,omitempty"`
+	Iteration int     `json:"iteration,omitempty"`
+	Epoch     int64   `json:"epoch,omitempty"`
+	Object    int64   `json:"object,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Bytes     int     `json:"bytes,omitempty"`
+	DurMicros float64 `json:"dur_us,omitempty"`
+	Name      string  `json:"name,omitempty"`
+}
+
+// WriteEventsJSON writes the events as a JSON array, timestamp-sorted.
+func WriteEventsJSON(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	sortEvents(sorted)
+	out := make([]jsonEvent, len(sorted))
+	for i, e := range sorted {
+		out[i] = jsonEvent{
+			TSMicros: usec(e.TS), Type: e.Type.String(), Rank: e.Rank,
+			Peer: e.Peer, Trial: e.Trial, Iteration: e.Iteration,
+			Epoch: e.Epoch, Object: e.Object, Value: e.Value,
+			Bytes: e.Bytes, DurMicros: usec(e.Dur), Name: e.Name,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// family splits a metric name in exposition syntax into its family (the
+// part before any label braces) for TYPE comment lines.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, then histograms with
+// cumulative le-labelled buckets, each family preceded by a TYPE line.
+func WritePrometheus(w io.Writer, m *Metrics) error {
+	bw := bufio.NewWriter(w)
+	seenType := map[string]bool{}
+	typeLine := func(name, kind string) {
+		f := family(name)
+		if !seenType[f] {
+			seenType[f] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", f, kind)
+		}
+	}
+	m.visit(
+		func(name string, c *Counter) {
+			typeLine(name, "counter")
+			fmt.Fprintf(bw, "%s %d\n", name, c.Value())
+		},
+		func(name string, g *Gauge) {
+			typeLine(name, "gauge")
+			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(g.Value()))
+		},
+		func(name string, h *Histogram) {
+			typeLine(name, "histogram")
+			snap := h.Snapshot()
+			cum := int64(0)
+			for i, bound := range snap.Bounds {
+				cum += snap.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(snap.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, snap.Count)
+		},
+	)
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCollectsAndSorts(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Type: EvMigration, Rank: i % 7, Peer: (i + 1) % 7, Object: int64(i)})
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	events := r.Events()
+	if len(events) != 100 {
+		t.Fatalf("Events len = %d, want 100", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("events not sorted at %d: %v < %v", i, events[i].TS, events[i-1].TS)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := NewRecorder()
+	const ranks, per = 16, 500
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Event{Type: EvInformSend, Rank: rank, Peer: i % ranks})
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if got := r.Len(); got != ranks*per {
+		t.Fatalf("Len = %d, want %d", got, ranks*per)
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("test_total")
+	g := m.Gauge("test_gauge")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(42.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 42.5 {
+		t.Errorf("gauge = %g, want 42.5", g.Value())
+	}
+	// Registry returns the same instrument on re-lookup.
+	if m.Counter("test_total") != c {
+		t.Error("Counter lookup not idempotent")
+	}
+}
+
+func TestHistogramShardedObserve(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1})
+	var wg sync.WaitGroup
+	const ranks, per = 32, 250
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(rank, 0.005)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != ranks*per {
+		t.Fatalf("count = %d, want %d", snap.Count, ranks*per)
+	}
+	if math.Abs(snap.Sum-float64(ranks*per)*0.005) > 1e-6 {
+		t.Fatalf("sum = %g", snap.Sum)
+	}
+	// 0.005 lands in the (0.001, 0.01] bucket (index 1).
+	if snap.Counts[1] != ranks*per {
+		t.Fatalf("bucket counts = %v", snap.Counts)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.Observe(0, 0.5)  // <= 1
+	h.Observe(0, 1)    // <= 1 (le is inclusive)
+	h.Observe(0, 5)    // <= 10
+	h.Observe(0, 1000) // +Inf
+	snap := h.Snapshot()
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", snap.Counts, want)
+		}
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	seen := map[string]EventType{}
+	for ty := EventType(0); int(ty) < numEventTypes; ty++ {
+		name := ty.String()
+		if name == "" {
+			t.Fatalf("event type %d has no name", ty)
+		}
+		// Paired span types intentionally share a name; everything else
+		// must be unique.
+		if prev, dup := seen[name]; dup && !pairedSpan(prev, ty) {
+			t.Fatalf("name %q reused by %d and %d", name, prev, ty)
+		}
+		seen[name] = ty
+	}
+	if got := EventType(200).String(); got != "event(200)" {
+		t.Fatalf("unknown type name = %q", got)
+	}
+}
+
+func pairedSpan(a, b EventType) bool {
+	pairs := map[EventType]EventType{
+		EvEpochOpen: EvEpochClose, EvPhaseBegin: EvPhaseEnd,
+		EvIterBegin: EvIterEnd, EvLBBegin: EvLBEnd,
+	}
+	return pairs[a] == b || pairs[b] == a
+}
+
+func TestRecorderStampsMonotonic(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Type: EvEpochOpen, Rank: 0})
+	time.Sleep(time.Millisecond)
+	r.Emit(Event{Type: EvEpochClose, Rank: 0})
+	ev := r.Events()
+	if ev[1].TS <= ev[0].TS {
+		t.Fatalf("timestamps not increasing: %v then %v", ev[0].TS, ev[1].TS)
+	}
+}

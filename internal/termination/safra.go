@@ -93,6 +93,13 @@ func (d *Detector) OnToken(t Token) {
 // HoldsToken reports whether this rank currently holds the probe.
 func (d *Detector) HoldsToken() bool { return d.hasToken }
 
+// Wave returns the wave number of the most recent token this rank has
+// seen — the per-epoch "token rounds to quiescence" statistic of the
+// observability layer. It is 0 on ranks the first wave has not reached
+// yet; on rank 0 it counts the waves launched, and at termination it is
+// the total number of probe rounds the epoch needed.
+func (d *Detector) Wave() int { return d.token.Wave }
+
 // Terminated reports whether rank 0 has concluded global termination.
 // Only rank 0 ever reports true; it must then announce termination to
 // the other ranks out of band.

@@ -44,8 +44,10 @@ const (
 )
 
 // NewRuntime creates an AMT runtime over n logical ranks, each driven by
-// its own goroutine once Run is called.
-func NewRuntime(n int) *Runtime { return amt.New(n) }
+// its own goroutine once Run is called. Options attach observability:
+// WithTracer for protocol event tracing, WithMetrics for the counter/
+// histogram registry.
+func NewRuntime(n int, opts ...RuntimeOption) *Runtime { return amt.New(n, opts...) }
 
 // NewLoadModel creates a persistence-based load predictor with
 // smoothing factor alpha in (0,1]; alpha = 1 is pure persistence.

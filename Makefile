@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-json
+.PHONY: build test vet race check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,9 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The CI gate: static analysis plus the race-enabled suite.
-check: vet race
+# The CI gate: static analysis, the race-enabled suite, and the
+# benchmark regression diff against the committed trajectory.
+check: vet race bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -26,3 +27,9 @@ bench:
 # (ns/op, B/op, allocs/op per recorded configuration).
 bench-json:
 	BENCH_JSON=1 $(GO) test -run TestWriteBenchJSON -v .
+
+# Rerun the BENCH_lb.json suite and fail on >20% ns/op or B/op
+# regression against the committed file (override the tolerance with
+# BENCH_TOLERANCE=0.30).
+bench-compare:
+	BENCH_COMPARE=1 $(GO) test -run TestBenchCompare -v .

@@ -37,6 +37,7 @@ func main() {
 		dumpFile   = flag.String("dumpfile", "", "trace output path for -dumpstep")
 		traceOut   = flag.String("trace", "", "write the virtual per-step timeline as Chrome trace_event JSON to this file (one track per configuration; open in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write per-configuration summary metrics in Prometheus text format to this file")
+		workers    = flag.Int("workers", 0, "concurrent tracker goroutines per step (0 = GOMAXPROCS, 1 = serial); output is identical at any worker count")
 	)
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func main() {
 		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d configurations at %dx%d ranks, %d steps ...",
 			len(trackers), cfg.RanksX, cfg.RanksY, cfg.Steps)
-		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
+		if _, err := sim.RunTrackersWith(cfg, trackers, *workers); err != nil {
 			log.Fatal(err)
 		}
 		if want("fig2") {
@@ -132,7 +133,7 @@ func main() {
 		trackers := sim.OrderingTrackers(tweak)
 		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d ordering configurations ...", len(trackers))
-		if _, err := sim.RunTrackers(cfg, trackers); err != nil {
+		if _, err := sim.RunTrackersWith(cfg, trackers, *workers); err != nil {
 			log.Fatal(err)
 		}
 		sim.RenderFig4d(os.Stdout, trackers, stride)

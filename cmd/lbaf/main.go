@@ -34,6 +34,7 @@ func main() {
 		tasks      = flag.Int("tasks", 10000, "task count")
 		traceOut   = flag.String("trace", "", "write the engine's lb.run/lb.iteration spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write the experiment's table columns as Prometheus text metrics to this file")
+		workers    = flag.Int("workers", 1, "concurrent engine runs for compare/sweep experiments (0 = GOMAXPROCS); output is identical at any worker count")
 	)
 	flag.Parse()
 
@@ -103,13 +104,13 @@ func main() {
 		t.Render(os.Stdout)
 		tables = append(tables, t)
 	case "compare":
-		var c lbaf.Comparison
-		var err error
-		if traced != nil {
-			c, err = lbaf.RunComparisonOn(traced, base)
-		} else {
-			c, err = lbaf.RunComparison(spec, base)
+		a := traced
+		if a == nil {
+			var err error
+			a, err = workload.Generate(spec)
+			check(err)
 		}
+		c, err := lbaf.RunComparisonOnParallel(a, base, *workers)
 		check(err)
 		c.Original.Render(os.Stdout)
 		fmt.Println()
@@ -123,8 +124,8 @@ func main() {
 		cfg.CMF = core.CMFModified
 		cfg.RecomputeCMF = true
 		cfg.Trials = 1
-		sw, err := lbaf.RunSweep("gossip fanout/rounds sweep (relaxed criterion)", spec,
-			lbaf.GossipSweepConfigs(cfg, []int{2, 4, 6, 8}, []int{2, 4, 6, 10}))
+		sw, err := lbaf.RunSweepParallel("gossip fanout/rounds sweep (relaxed criterion)", spec,
+			lbaf.GossipSweepConfigs(cfg, []int{2, 4, 6, 8}, []int{2, 4, 6, 10}), *workers)
 		check(err)
 		sw.Render(os.Stdout)
 	case "sweep-refine":
@@ -132,8 +133,8 @@ func main() {
 		cfg.Criterion = core.CriterionRelaxed
 		cfg.CMF = core.CMFModified
 		cfg.RecomputeCMF = true
-		sw, err := lbaf.RunSweep("refinement trials/iterations sweep", spec,
-			lbaf.RefinementSweepConfigs(cfg, []int{1, 4, 10}, []int{1, 4, 8}))
+		sw, err := lbaf.RunSweepParallel("refinement trials/iterations sweep", spec,
+			lbaf.RefinementSweepConfigs(cfg, []int{1, 4, 10}, []int{1, 4, 8}), *workers)
 		check(err)
 		sw.Render(os.Stdout)
 	default:

@@ -1,0 +1,24 @@
+// Package amt is the asynchronous many-task runtime substrate — the
+// stand-in for the paper's DARMA/vt tasking library (§III). It provides
+// logical ranks driven by one goroutine each, active messages with
+// registered handlers, epochs terminated by distributed termination
+// detection (Safra's algorithm over the same transport), rank
+// collectives (barrier, all-reduce), migratable objects with a
+// forwarding location manager, and per-phase task instrumentation
+// feeding the load balancers.
+//
+// The programming model is SPMD-with-tasks: Runtime.Run starts one
+// goroutine per rank executing the supplied main function; inside it,
+// ranks exchange active messages and call collectives in matching order.
+//
+// # Concurrency
+//
+// Each rank's handlers run only on that rank's goroutine, so handler
+// state needs no locking — the same single-scheduler-per-rank discipline
+// vt uses. Cross-rank interaction happens exclusively through the comm
+// transport's goroutine-safe inboxes; a Context and everything reached
+// from it (objects, phase instrumentation, collection slices) belong to
+// the owning rank's goroutine and must not be touched from another.
+// Register handlers and attach observability options before Runtime.Run;
+// the registries are read-only while ranks execute.
+package amt

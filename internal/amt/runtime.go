@@ -1,18 +1,3 @@
-// Package amt is the asynchronous many-task runtime substrate — the
-// stand-in for the paper's DARMA/vt tasking library (§III). It provides
-// logical ranks driven by one goroutine each, active messages with
-// registered handlers, epochs terminated by distributed termination
-// detection (Safra's algorithm over the same transport), rank
-// collectives (barrier, all-reduce), migratable objects with a
-// forwarding location manager, and per-phase task instrumentation
-// feeding the load balancers.
-//
-// The programming model is SPMD-with-tasks: Runtime.Run starts one
-// goroutine per rank executing the supplied main function; inside it,
-// ranks exchange active messages and call collectives in matching order.
-// Each rank's handlers run only on that rank's goroutine, so handler
-// state needs no locking — the same single-scheduler-per-rank discipline
-// vt uses.
 package amt
 
 import (

@@ -1,9 +1,3 @@
-// Package comm provides the in-memory message transport underneath the
-// AMT runtime: per-rank unbounded inboxes with blocking and non-blocking
-// receive, per-sender FIFO ordering, and optional payload byte
-// accounting. It substitutes for the MPI layer of the paper's vt runtime;
-// everything above it (active messages, epochs, termination detection,
-// collectives) is implemented for real on top of this transport.
 package comm
 
 import (

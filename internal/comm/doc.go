@@ -1,0 +1,16 @@
+// Package comm provides the in-memory message transport underneath the
+// AMT runtime: per-rank unbounded inboxes with blocking and non-blocking
+// receive, per-sender FIFO ordering, and optional payload byte
+// accounting. It substitutes for the MPI layer of the paper's vt runtime;
+// everything above it (active messages, epochs, termination detection,
+// collectives) is implemented for real on top of this transport.
+//
+// # Concurrency
+//
+// The inboxes are the concurrency boundary of the whole distributed
+// stack and are fully goroutine-safe: any goroutine may Send to any
+// rank while that rank's goroutine blocks in Recv, and per-sender FIFO
+// order is preserved. Everything layered above (amt, termination, the
+// distributed balancer) relies on this package for cross-rank safety
+// and keeps its own state single-goroutine.
+package comm

@@ -137,14 +137,22 @@ func (a *Assignment) NumTasks() int { return len(a.loads) }
 // TasksOf returns rank r's tasks sorted by ID ("identifying index
 // order"), the deterministic arbitrary order of Algorithm 2 line 41.
 func (a *Assignment) TasksOf(r Rank) []Task {
+	return a.AppendTasksOf(nil, r)
+}
+
+// AppendTasksOf appends rank r's tasks in ascending ID order to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// It is the buffer-reusing form of TasksOf for per-iteration hot paths.
+func (a *Assignment) AppendTasksOf(dst []Task, r Rank) []Task {
 	a.checkRank(r)
 	ids := a.rankTasks[r]
-	out := make([]Task, len(ids))
-	for i, id := range ids {
-		out[i] = Task{ID: id, Load: a.loads[id]}
+	start := len(dst)
+	for _, id := range ids {
+		dst = append(dst, Task{ID: id, Load: a.loads[id]})
 	}
+	out := dst[start:]
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return dst
 }
 
 // TaskCount returns the number of tasks on rank r without allocating.
@@ -199,6 +207,34 @@ func (a *Assignment) Clone() *Assignment {
 // Owners returns a copy of the task→rank owner vector, indexed by TaskID.
 func (a *Assignment) Owners() []Rank {
 	return append([]Rank(nil), a.owner...)
+}
+
+// AppendOwners appends the task→rank owner vector to dst and returns the
+// extended slice — the buffer-reusing form of Owners.
+func (a *Assignment) AppendOwners(dst []Rank) []Rank {
+	return append(dst, a.owner...)
+}
+
+// CopyFrom makes a deep copy of src into a, reusing a's existing storage
+// (including the per-rank task lists) where capacity allows. The engine
+// uses it to reset its working distribution at each trial (Algorithm 3
+// line 3) without re-cloning.
+func (a *Assignment) CopyFrom(src *Assignment) {
+	a.numRanks = src.numRanks
+	a.loads = append(a.loads[:0], src.loads...)
+	a.owner = append(a.owner[:0], src.owner...)
+	a.pos = append(a.pos[:0], src.pos...)
+	a.rankLoad = append(a.rankLoad[:0], src.rankLoad...)
+	a.totalLoad = src.totalLoad
+	if cap(a.rankTasks) < src.numRanks {
+		old := a.rankTasks
+		a.rankTasks = make([][]TaskID, src.numRanks)
+		copy(a.rankTasks, old)
+	}
+	a.rankTasks = a.rankTasks[:src.numRanks]
+	for r, list := range src.rankTasks {
+		a.rankTasks[r] = append(a.rankTasks[r][:0], list...)
+	}
 }
 
 // Validate checks the internal invariants: every task appears in exactly

@@ -27,6 +27,19 @@ type CMF struct {
 // For CMFModified, l_s = max(l_ave, max known load), the paper's §V-C
 // fix that keeps every probability non-negative by construction.
 func BuildCMF(know *Knowledge, self Rank, ave float64, kind CMFKind) (CMF, bool) {
+	var c CMF
+	ok := c.Rebuild(know, self, ave, kind)
+	return c, ok
+}
+
+// Rebuild reconstructs the CMF in place over the current knowledge,
+// reusing the receiver's backing arrays. It is the allocation-free core
+// of BuildCMF, used by the transfer stage when cfg.RecomputeCMF rebuilds
+// after every accepted transfer (line 7). It reports whether any
+// candidate has positive mass; on false the receiver is left empty.
+func (c *CMF) Rebuild(know *Knowledge, self Rank, ave float64, kind CMFKind) bool {
+	c.ranks = c.ranks[:0]
+	c.cum = c.cum[:0]
 	ls := ave
 	if kind == CMFModified {
 		if m := know.MaxLoad(); m > ls {
@@ -34,13 +47,9 @@ func BuildCMF(know *Knowledge, self Rank, ave float64, kind CMFKind) (CMF, bool)
 		}
 	}
 	if ls <= 0 {
-		return CMF{}, false
+		return false
 	}
 	entries := know.Entries()
-	c := CMF{
-		ranks: make([]Rank, 0, len(entries)),
-		cum:   make([]float64, 0, len(entries)),
-	}
 	z := 0.0
 	for _, e := range entries {
 		r := e.Rank
@@ -56,14 +65,16 @@ func BuildCMF(know *Knowledge, self Rank, ave float64, kind CMFKind) (CMF, bool)
 		c.cum = append(c.cum, z)
 	}
 	if z <= 0 {
-		return CMF{}, false
+		c.ranks = c.ranks[:0]
+		c.cum = c.cum[:0]
+		return false
 	}
 	// Normalize so the final cumulative value is exactly 1.
 	for i := range c.cum {
 		c.cum[i] /= z
 	}
 	c.cum[len(c.cum)-1] = 1
-	return c, true
+	return true
 }
 
 // Len returns the number of candidate ranks.

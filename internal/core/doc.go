@@ -19,4 +19,16 @@
 //
 // All randomness is drawn from seeded generators derived from
 // Config.Seed, so every run is reproducible bit-for-bit.
+//
+// # Concurrency
+//
+// Nothing in this package locks. An Engine is single-owner: it keeps
+// per-run scratch state (gossip states, RNGs, transfer buffers) between
+// Run calls to avoid reallocation, so one Engine must never be shared
+// between goroutines. Engine.Run only reads the Assignment it is given,
+// which makes the parallel-sweep pattern safe: many engines, each owned
+// by one worker goroutine, over one shared read-only input assignment.
+// InformState, TransferScratch and Knowledge follow the same
+// single-owner rule — in the distributed balancer each rank's goroutine
+// owns its own set.
 package core

@@ -104,8 +104,50 @@ func (r *Result) MovedLoad(a *Assignment) float64 {
 // gossip with a deterministic asynchronous message queue. It is the
 // LB-analysis twin of the distributed implementation in lb/tempered: the
 // same per-rank decision logic, driven synchronously.
+//
+// An Engine is single-owner: it carries scratch buffers reused across
+// trials, iterations and Run calls, so one Engine must not run
+// concurrently with itself. Distinct Engines are fully independent —
+// parallel experiment sweeps run one Engine per configuration, sharing
+// the input Assignment read-only.
 type Engine struct {
 	cfg Config
+	sc  engineScratch
+}
+
+// engineScratch holds every buffer the refinement loop reuses. All state
+// is reset (or fully overwritten) at the points the old per-trial
+// allocations happened, so results are bit-identical to the allocating
+// implementation.
+type engineScratch struct {
+	states      []*InformState
+	transferRNG []*rand.Rand
+	orderRNG    *rand.Rand
+	work        *Assignment // working distribution, reset per trial
+	queue       []Send      // gossip delivery queue, truncated per iteration
+	order       []int       // rank traversal permutation
+	tasks       []Task      // overloaded rank's task set
+	owners      []Rank      // owner snapshot for the affinity closure
+	bestOwners  []Rank      // owner vector of the best distribution
+	haveBest    bool
+	xfer        TransferScratch
+}
+
+// prepare sizes the scratch for numRanks ranks, allocating only when the
+// engine has not run at this size before.
+func (sc *engineScratch) prepare(numRanks int, cfg *Config) {
+	if len(sc.states) == numRanks {
+		return
+	}
+	sc.states = make([]*InformState, numRanks)
+	sc.transferRNG = make([]*rand.Rand, numRanks)
+	for r := 0; r < numRanks; r++ {
+		sc.states[r] = NewInformState(Rank(r), numRanks, cfg, newRNG(0))
+		sc.transferRNG[r] = newRNG(0)
+	}
+	sc.orderRNG = newRNG(0)
+	sc.order = make([]int, numRanks)
+	sc.work = nil
 }
 
 // NewEngine validates the configuration and returns an engine.
@@ -152,17 +194,25 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 	}
 
 	numRanks := a.NumRanks()
-	var bestOwners []Rank
+	sc := &e.sc
+	sc.prepare(numRanks, &e.cfg)
+	sc.haveBest = false
 
 	for trial := 1; trial <= e.cfg.Trials; trial++ {
-		work := a.Clone() // Algorithm 3 line 3: reset for each trial
-		states := make([]*InformState, numRanks)
-		transferRNG := make([]*rand.Rand, numRanks)
-		for r := 0; r < numRanks; r++ {
-			states[r] = NewInformState(Rank(r), numRanks, &e.cfg, newRNG(e.cfg.Seed, int64(trial), int64(r), 0x60551f))
-			transferRNG[r] = newRNG(e.cfg.Seed, int64(trial), int64(r), 0x7af)
+		// Algorithm 3 line 3: reset the working copy for each trial.
+		if sc.work == nil {
+			sc.work = a.Clone()
+		} else {
+			sc.work.CopyFrom(a)
 		}
-		orderRNG := newRNG(e.cfg.Seed, int64(trial), 0x0deb)
+		work := sc.work
+		// Re-point each rank's random streams at this trial's seeds; the
+		// sequences are bit-identical to freshly allocated generators.
+		for r := 0; r < numRanks; r++ {
+			sc.states[r].Reseed(deriveSeed(e.cfg.Seed, int64(trial), int64(r), 0x60551f))
+			reseed(sc.transferRNG[r], e.cfg.Seed, int64(trial), int64(r), 0x7af)
+		}
+		reseed(sc.orderRNG, e.cfg.Seed, int64(trial), 0x0deb)
 
 		for iter := 1; iter <= e.cfg.Iterations; iter++ {
 			st := IterationStats{Trial: trial, Iteration: iter}
@@ -173,12 +223,12 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			}
 
 			if !e.cfg.PersistKnowledge || iter == 1 {
-				for _, s := range states {
+				for _, s := range sc.states {
 					s.Reset()
 				}
 			}
-			e.gossip(work, ave, states, &st)
-			e.transferPass(work, ave, g, states, transferRNG, orderRNG, &st)
+			e.gossip(work, ave, &st)
+			e.transferPass(work, ave, g, &st)
 
 			st.Imbalance = work.Imbalance() // Algorithm 3 line 9
 			st.ElapsedSeconds = time.Since(iterStart).Seconds()
@@ -191,7 +241,8 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			if st.Imbalance < res.FinalImbalance { // line 10: keep the best
 				res.FinalImbalance = st.Imbalance
 				res.BestTrial, res.BestIteration = trial, iter
-				bestOwners = work.Owners()
+				sc.bestOwners = work.AppendOwners(sc.bestOwners[:0])
+				sc.haveBest = true
 			}
 		}
 	}
@@ -201,18 +252,18 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			Value: res.FinalImbalance})
 	}
 
-	if bestOwners != nil {
+	if sc.haveBest {
 		orig := a.Owners()
 		for id := range orig {
-			if orig[id] != bestOwners[id] {
-				res.Moves = append(res.Moves, Move{Task: TaskID(id), From: orig[id], To: bestOwners[id]})
+			if orig[id] != sc.bestOwners[id] {
+				res.Moves = append(res.Moves, Move{Task: TaskID(id), From: orig[id], To: sc.bestOwners[id]})
 			}
 		}
 	}
 	if g != nil {
 		res.RemoteVolumeBefore = g.RemoteVolume(a.Owners())
-		if bestOwners != nil {
-			res.RemoteVolumeAfter = g.RemoteVolume(bestOwners)
+		if sc.haveBest {
+			res.RemoteVolumeAfter = g.RemoteVolume(sc.bestOwners)
 		} else {
 			res.RemoteVolumeAfter = res.RemoteVolumeBefore
 		}
@@ -230,9 +281,12 @@ func (r *Result) Apply(a *Assignment) {
 // gossip simulates the asynchronous inform stage: underloaded ranks seed
 // messages, and a FIFO queue delivers them until quiescence — the
 // synchronous stand-in for termination detection. Message and payload
-// counts are recorded in st.
-func (e *Engine) gossip(work *Assignment, ave float64, states []*InformState, st *IterationStats) {
-	var queue []Send
+// counts are recorded in st. The queue buffer is reused across
+// iterations; each Send is copied into it, so the per-state send buffers
+// may be recycled freely.
+func (e *Engine) gossip(work *Assignment, ave float64, st *IterationStats) {
+	states := e.sc.states
+	queue := e.sc.queue[:0]
 	for r := range states {
 		queue = append(queue, states[r].Begin(ave, work.RankLoad(Rank(r)))...)
 	}
@@ -243,6 +297,7 @@ func (e *Engine) gossip(work *Assignment, ave float64, states []*InformState, st
 		more, _ := states[s.To].Receive(s.Msg)
 		queue = append(queue, more...)
 	}
+	e.sc.queue = queue
 }
 
 // transferPass runs the transfer stage for every overloaded rank, in a
@@ -251,13 +306,15 @@ func (e *Engine) gossip(work *Assignment, ave float64, states []*InformState, st
 // knowledge ("each overloaded rank working in isolation", §V-A), so an
 // underloaded rank may still be overloaded by several senders; eager
 // application only makes later-processed ranks see their true own load.
-func (e *Engine) transferPass(work *Assignment, ave float64, g *CommGraph, states []*InformState, transferRNG []*rand.Rand, orderRNG *rand.Rand, st *IterationStats) {
+func (e *Engine) transferPass(work *Assignment, ave float64, g *CommGraph, st *IterationStats) {
+	sc := &e.sc
 	// Snapshot owners once per iteration for the communication-affinity
 	// lookups: senders see partner locations with the same staleness
 	// their gossip knowledge has.
 	var affinity AffinityFunc
 	if g != nil && e.cfg.CommBias > 0 {
-		owners := work.Owners()
+		sc.owners = work.AppendOwners(sc.owners[:0])
+		owners := sc.owners
 		affinity = func(task TaskID, to Rank) float64 {
 			sum := 0.0
 			for _, edge := range g.Edges(task) {
@@ -268,21 +325,22 @@ func (e *Engine) transferPass(work *Assignment, ave float64, g *CommGraph, state
 			return sum
 		}
 	}
-	order := orderRNG.Perm(work.NumRanks())
+	permInto(sc.orderRNG, sc.order)
 	overloaded, knowSum := 0, 0
-	for _, ri := range order {
+	for _, ri := range sc.order {
 		r := Rank(ri)
 		load := work.RankLoad(r)
 		if load <= e.cfg.Threshold*ave {
 			continue
 		}
 		overloaded++
-		k := states[r].Knowledge().Len()
+		k := sc.states[r].Knowledge().Len()
 		knowSum += k
 		if overloaded == 1 || k < st.KnowledgeMin {
 			st.KnowledgeMin = k
 		}
-		proposals, ts, _ := RunTransferAffinity(r, work.TasksOf(r), load, ave, states[r].Knowledge(), &e.cfg, transferRNG[r], affinity)
+		sc.tasks = work.AppendTasksOf(sc.tasks[:0], r)
+		proposals, ts, _ := RunTransferScratch(r, sc.tasks, load, ave, sc.states[r].Knowledge(), &e.cfg, sc.transferRNG[r], affinity, &sc.xfer)
 		st.Rejected += ts.Rejected
 		st.NoCandidate += ts.NoCandidate
 		for _, p := range proposals {

@@ -29,6 +29,12 @@ type InformState struct {
 	rng       *rand.Rand
 	know      *Knowledge
 	forwarded []bool // by round, when !cfg.FloodForward
+
+	// Reused buffers: sendBuf backs the slices returned by Begin and
+	// Receive (overwritten by the next call); permBuf serves the
+	// capped-payload down-sampling and is consumed within one call.
+	sendBuf []Send
+	permBuf []int
 }
 
 // NewInformState creates the gossip state for one rank. The rng must be
@@ -55,9 +61,20 @@ func (st *InformState) Reset() {
 	}
 }
 
+// Reseed re-points the state's private generator at a new stream and
+// clears all gossip state, preparing the rank for a fresh trial without
+// reallocating the state machine. The resulting random sequence is
+// bit-identical to constructing a new state with the same seed.
+func (st *InformState) Reseed(seed int64) {
+	st.rng.Seed(seed)
+	st.Reset()
+}
+
 // Begin implements INFORM (Algorithm 1 lines 5–14): if this rank is
 // underloaded it records itself and seeds f round-1 messages to random
-// ranks. The returned sends must be delivered by the caller.
+// ranks. The returned sends must be delivered by the caller; the slice
+// is reused by the state's next Begin or Receive, so consume or copy it
+// before driving this rank again.
 func (st *InformState) Begin(ave, own float64) []Send {
 	if own >= ave {
 		return nil
@@ -73,7 +90,9 @@ func (st *InformState) Begin(ave, own float64) []Send {
 // message taught it something new (the standard epidemic suppression
 // that keeps message volume near P·f·k instead of f^k); later or
 // redundant messages of the same round only merge. It returns the number
-// of newly learned entries alongside the messages to send.
+// of newly learned entries alongside the messages to send; the sends
+// slice is reused by the state's next Begin or Receive, so consume or
+// copy it before driving this rank again.
 func (st *InformState) Receive(m InformMsg) (sends []Send, added int) {
 	added = st.know.Merge(m.Entries)
 	if m.Round >= st.cfg.Rounds {
@@ -98,8 +117,16 @@ func (st *InformState) payload() []RankLoad {
 	if max <= 0 || len(entries) <= max {
 		return entries
 	}
+	if cap(st.permBuf) < len(entries) {
+		st.permBuf = make([]int, len(entries))
+	}
+	perm := st.permBuf[:len(entries)]
+	permInto(st.rng, perm)
+	// The down-sampled payload must be freshly allocated: it rides in
+	// messages that can be delivered after this state's next fan-out, so
+	// unlike permBuf it cannot be reused.
 	out := make([]RankLoad, max)
-	for i, j := range st.rng.Perm(len(entries))[:max] {
+	for i, j := range perm[:max] {
 		out[i] = entries[j]
 	}
 	return out
@@ -111,15 +138,15 @@ func (st *InformState) fanOut(round int) []Send {
 		return nil
 	}
 	entries := st.payload()
-	sends := make([]Send, 0, st.cfg.Fanout)
+	st.sendBuf = st.sendBuf[:0]
 	for i := 0; i < st.cfg.Fanout; i++ {
 		t := Rank(st.rng.Intn(st.numRanks - 1))
 		if t >= st.self {
 			t++
 		}
-		sends = append(sends, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
+		st.sendBuf = append(st.sendBuf, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
 	}
-	return sends
+	return st.sendBuf
 }
 
 // fanOutAvoidKnown picks f targets from P \ S^p (lines 20–21), preferring
@@ -132,12 +159,12 @@ func (st *InformState) fanOutAvoidKnown(round int) []Send {
 		return nil
 	}
 	entries := st.payload()
-	sends := make([]Send, 0, st.cfg.Fanout)
+	st.sendBuf = st.sendBuf[:0]
 	for i := 0; i < st.cfg.Fanout; i++ {
 		t := st.sampleUnknown()
-		sends = append(sends, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
+		st.sendBuf = append(st.sendBuf, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
 	}
-	return sends
+	return st.sendBuf
 }
 
 func (st *InformState) sampleUnknown() Rank {

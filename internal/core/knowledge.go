@@ -12,10 +12,11 @@ type RankLoad struct {
 // notation, kept consistent by construction (|S^p| ≡ |LOAD^p()|).
 //
 // Entries are kept in insertion order so CMF construction and sampling
-// are deterministic for a deterministic message order. The entry list is
-// append-only, which lets Entries return a zero-copy snapshot: gossip
-// payloads at scale would otherwise dominate allocation (footnote 2 of
-// the paper discusses exactly this O(P) list-size concern).
+// are deterministic for a deterministic message order. Between resets the
+// entry list is append-only, which lets Entries return a zero-copy
+// snapshot: gossip payloads at scale would otherwise dominate allocation
+// (footnote 2 of the paper discusses exactly this O(P) list-size
+// concern).
 type Knowledge struct {
 	has     []bool    // indexed by rank
 	load    []float64 // indexed by rank; valid where has[r]; updated by transfers
@@ -74,9 +75,11 @@ func (k *Knowledge) Len() int { return len(k.entries) }
 func (k *Knowledge) NumRanks() int { return len(k.has) }
 
 // Entries returns the knowledge as a payload slice in insertion order.
-// The returned slice is an immutable snapshot: the Knowledge only ever
-// appends past its length, so holders (in-flight messages) stay valid
-// with no copying.
+// The returned slice is an immutable snapshot until the next Reset: the
+// Knowledge only ever appends past its length, so holders (in-flight
+// messages within the current iteration) stay valid with no copying.
+// Reset reuses the buffer, so snapshots must not outlive the iteration
+// they were taken in.
 func (k *Knowledge) Entries() []RankLoad { return k.entries[:len(k.entries):len(k.entries)] }
 
 // Merge adds all unknown entries from the payload and returns the number
@@ -104,11 +107,14 @@ func (k *Knowledge) MaxLoad() float64 {
 }
 
 // Reset empties the knowledge for reuse in a new iteration. The entry
-// buffer is abandoned, not truncated, so snapshots taken before the
-// reset remain valid.
+// buffer is truncated in place and reused, so snapshots taken before the
+// reset become invalid: every driver must deliver (or drop) all in-flight
+// messages of an iteration before resetting — the synchronous engine
+// drains its queue to quiescence and the distributed balancer closes the
+// iteration's epoch, so both satisfy this by construction.
 func (k *Knowledge) Reset() {
 	for _, e := range k.entries {
 		k.has[e.Rank] = false
 	}
-	k.entries = nil
+	k.entries = k.entries[:0]
 }

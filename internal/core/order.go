@@ -13,17 +13,25 @@ import "sort"
 // Ties are broken by ascending task ID so the order is deterministic.
 func OrderTasks(tasks []Task, ave, selfLoad float64, ord Ordering) []Task {
 	out := append([]Task(nil), tasks...)
+	OrderTasksInPlace(out, ave, selfLoad, ord)
+	return out
+}
+
+// OrderTasksInPlace is OrderTasks sorting the caller's slice directly,
+// for callers that own a reusable buffer (the transfer scratch). Every
+// ordering breaks ties by ascending task ID, so the result is the same
+// deterministic permutation regardless of the input order.
+func OrderTasksInPlace(tasks []Task, ave, selfLoad float64, ord Ordering) {
 	switch ord {
 	case OrderArbitrary:
-		sortByID(out)
+		sortByID(tasks)
 	case OrderLoadIntensive:
-		sortDescending(out)
+		sortDescending(tasks)
 	case OrderFewestMigrations:
-		orderFewestMigrations(out, ave, selfLoad)
+		orderFewestMigrations(tasks, ave, selfLoad)
 	case OrderLightest:
-		orderLightest(out, ave, selfLoad)
+		orderLightest(tasks, ave, selfLoad)
 	}
-	return out
 }
 
 func sortByID(ts []Task) {

@@ -34,3 +34,23 @@ func newRNG(base int64, streams ...int64) *rand.Rand {
 func SeededRNG(base int64, streams ...int64) *rand.Rand {
 	return newRNG(base, streams...)
 }
+
+// reseed re-points an existing generator at the given stream. Seeding a
+// reused *rand.Rand produces the exact same sequence as allocating a
+// fresh one with newRNG, which lets the engine recycle its per-rank
+// generators across trials without reallocating their ~5 KiB sources.
+func reseed(rng *rand.Rand, base int64, streams ...int64) {
+	rng.Seed(deriveSeed(base, streams...))
+}
+
+// permInto fills buf with a pseudo-random permutation of [0, len(buf)),
+// drawing from rng exactly as rand.Perm does — the inside-out
+// Fisher–Yates of Knuth — so results are bit-identical to a Perm call
+// while reusing the caller's buffer.
+func permInto(rng *rand.Rand, buf []int) {
+	for i := range buf {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+}

@@ -50,10 +50,31 @@ type AffinityFunc func(task TaskID, to Rank) float64
 // cfg.CommBias > 0, each task samples from a CMF blended toward ranks
 // hosting its communication partners.
 func RunTransferAffinity(self Rank, tasks []Task, selfLoad, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc) ([]Proposal, TransferStats, float64) {
-	var (
-		proposals []Proposal
-		st        TransferStats
-	)
+	var scr TransferScratch
+	return RunTransferScratch(self, tasks, selfLoad, ave, know, cfg, rng, affinity, &scr)
+}
+
+// TransferScratch holds the buffers one transfer-stage execution needs —
+// the CMF, the ordered/kept task double buffer, and the proposal list —
+// so a driver that runs the stage once per overloaded rank per iteration
+// (the engine, the distributed balancer) can reuse them and keep the hot
+// loop allocation-free. The zero value is ready to use. A scratch must
+// not be shared between concurrently running drivers.
+type TransferScratch struct {
+	cmf       CMF
+	tasks     []Task
+	kept      []Task
+	proposals []Proposal
+}
+
+// RunTransferScratch is RunTransferAffinity drawing every buffer it
+// needs from scr. The input tasks slice is copied, not modified. The
+// returned proposals are backed by scr and remain valid only until the
+// next call with the same scratch; callers that retain them across calls
+// must copy.
+func RunTransferScratch(self Rank, tasks []Task, selfLoad, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc, scr *TransferScratch) ([]Proposal, TransferStats, float64) {
+	var st TransferStats
+	scr.proposals = scr.proposals[:0]
 	if know.Len() == 0 {
 		return nil, st, selfLoad
 	}
@@ -68,34 +89,34 @@ func RunTransferAffinity(self Rank, tasks []Task, selfLoad, ave float64, know *K
 		maxPasses = len(tasks) + 1
 	}
 
-	remaining := tasks
+	scr.tasks = append(scr.tasks[:0], tasks...)
+	remaining := scr.tasks
 	for pass := 0; pass < maxPasses && selfLoad > cfg.Threshold*ave && len(remaining) > 0; pass++ {
-		var kept []Task
-		accepted, done := transferPass(self, remaining, &selfLoad, ave, know, cfg, rng, affinity, &proposals, &st, &kept)
-		remaining = kept
+		scr.kept = scr.kept[:0]
+		accepted, done := transferPass(self, remaining, &selfLoad, ave, know, cfg, rng, affinity, scr, &st)
+		// The rejected tasks become the next pass's input; the spent
+		// buffer becomes the next pass's kept list (double buffering).
+		scr.tasks, scr.kept = scr.kept, scr.tasks
+		remaining = scr.tasks
 		if done || accepted == 0 {
 			break
 		}
 	}
-	return proposals, st, selfLoad
+	return scr.proposals, st, selfLoad
 }
 
 // transferPass makes one traversal of the task list (the body of
-// Algorithm 2's while loop). It appends accepted proposals, keeps
-// rejected tasks for a possible next pass, and reports the number of
-// acceptances plus whether the loop ended for good (no longer overloaded
-// or no candidate mass left).
-func transferPass(self Rank, ordered []Task, selfLoad *float64, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc, proposals *[]Proposal, st *TransferStats, kept *[]Task) (accepted int, done bool) {
-	ordered = OrderTasks(ordered, ave, *selfLoad, cfg.Order)
+// Algorithm 2's while loop). It appends accepted proposals to
+// scr.proposals, keeps rejected tasks in scr.kept for a possible next
+// pass, and reports the number of acceptances plus whether the loop
+// ended for good (no longer overloaded or no candidate mass left).
+// ordered is sorted in place; it must be scratch-owned.
+func transferPass(self Rank, ordered []Task, selfLoad *float64, ave float64, know *Knowledge, cfg *Config, rng *rand.Rand, affinity AffinityFunc, scr *TransferScratch, st *TransferStats) (accepted int, done bool) {
+	OrderTasksInPlace(ordered, ave, *selfLoad, cfg.Order)
 
-	var (
-		cmf CMF
-		ok  bool
-	)
 	if !cfg.RecomputeCMF { // line 5: build once
-		cmf, ok = BuildCMF(know, self, ave, cfg.CMF)
 		st.CMFBuilds++
-		if !ok {
+		if !scr.cmf.Rebuild(know, self, ave, cfg.CMF) {
 			st.NoCandidate++
 			return 0, true
 		}
@@ -104,33 +125,32 @@ func transferPass(self Rank, ordered []Task, selfLoad *float64, ave float64, kno
 	n := 0
 	for ; *selfLoad > cfg.Threshold*ave && n < len(ordered); n++ {
 		if cfg.RecomputeCMF { // line 7: rebuild with updated knowledge
-			cmf, ok = BuildCMF(know, self, ave, cfg.CMF)
 			st.CMFBuilds++
-			if !ok {
+			if !scr.cmf.Rebuild(know, self, ave, cfg.CMF) {
 				st.NoCandidate++
-				*kept = append(*kept, ordered[n:]...)
+				scr.kept = append(scr.kept, ordered[n:]...)
 				return accepted, true
 			}
 		}
 		o := ordered[n]
-		pick := cmf
+		pick := scr.cmf
 		if affinity != nil {
-			pick = cmf.Blend(func(r Rank) float64 { return affinity(o.ID, r) }, cfg.CommBias)
+			pick = scr.cmf.Blend(func(r Rank) float64 { return affinity(o.ID, r) }, cfg.CommBias)
 		}
 		px := pick.Sample(rng)                                  // line 9
 		lx := know.Load(px)                                     // line 10
 		if cfg.Criterion.Evaluate(lx, o.Load, ave, *selfLoad) { // line 11
 			know.Update(px, lx+o.Load) // line 12
 			*selfLoad -= o.Load        // line 13
-			*proposals = append(*proposals, Proposal{Task: o.ID, To: px})
+			scr.proposals = append(scr.proposals, Proposal{Task: o.ID, To: px})
 			st.Accepted++
 			accepted++
 		} else {
 			st.Rejected++
-			*kept = append(*kept, o)
+			scr.kept = append(scr.kept, o)
 		}
 	}
-	*kept = append(*kept, ordered[n:]...)
+	scr.kept = append(scr.kept, ordered[n:]...)
 	return accepted, false
 }
 

@@ -1,0 +1,29 @@
+// Package empire is the EMPIRE-like plasma PIC application of the
+// paper's evaluation (§VI): a finite-element-style field solve whose
+// cost is static and balanced across the SPMD partition, plus a
+// particle-in-cell update whose cost follows the particles — spatially
+// concentrated, drifting, and growing over the run (the B-Dot problem's
+// time-varying imbalance). The application produces, per timestep, the
+// per-color particle work that the load balancers operate on; the sim
+// package turns those loads into virtual execution time for the five
+// configurations of Fig. 2.
+//
+// The plasma has two populations. A uniform background carries most of
+// the mass and grows steadily, which is why the relative imbalance
+// decays over the run even though the hot spots keep growing (Fig. 4c's
+// I ≈ 7 → 3.3 trajectory). On top of it, a set of cold, tight filament
+// spots drift slowly across the mesh; each spot spans only a few color
+// blocks, making those colors individually heavier than the average
+// rank load. Such colors can never be placed by the original
+// GrapevineLB criterion (l_x + LOAD(o) < l_ave fails for every
+// recipient) — the §V-B pathology realized at application scale — while
+// the relaxed TemperedLB criterion spreads them one per rank, which is
+// precisely the quality gap Fig. 2 shows.
+//
+// # Concurrency
+//
+// An App is single-owner: one goroutine steps the physics. The per-step
+// color-load slice it produces is safe to share read-only with any
+// number of consumers — the sim package fans its trackers over exactly
+// that slice.
+package empire

@@ -1,0 +1,23 @@
+// Package exper is the parallel experiment runner: a small worker pool
+// that fans independent, seeded jobs — engine configurations of a sweep,
+// simulator trackers of a figure, ablation rows — across a bounded
+// number of goroutines while keeping results in submission order.
+//
+// Every experiment in this repository owns its random streams (each
+// engine run derives per-rank, per-trial seeds from its Config.Seed; see
+// DESIGN.md §5), so running N configurations concurrently and collecting
+// results by index is bit-identical to running them serially. That
+// property is what lets the §V tables, the footnote-2 sweeps and the
+// Figs. 2–4 simulator rows scale to GOMAXPROCS with no change in output;
+// it is asserted by serial-vs-parallel equality tests in lbaf and sim.
+//
+// # Concurrency contract
+//
+// Run, Map and MapErr are safe to call concurrently from multiple
+// goroutines; each call owns its pool. Job functions run on distinct
+// goroutines and must not share mutable state unless that state is
+// itself concurrency-safe (the obs.Recorder tracer and obs metrics are;
+// a core.Engine is not — give each job its own). workers <= 0 uses
+// GOMAXPROCS; workers == 1 degenerates to an inline serial loop on the
+// calling goroutine, with no goroutines spawned at all.
+package exper

@@ -1,0 +1,78 @@
+package exper
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean "one per
+// available CPU" (GOMAXPROCS), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run invokes job(i) for every i in [0, n), spreading calls across up to
+// workers goroutines. Jobs are claimed in index order from a shared
+// counter; with workers == 1 the loop runs inline on the caller's
+// goroutine. Run returns once every job has finished.
+func Run(n, workers int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs job(i) for every i in [0, n) under the same pool as Run and
+// returns the results indexed by i — submission order, independent of
+// completion order, which is what makes parallel sweeps bit-identical
+// to serial ones.
+func Map[T any](n, workers int, job func(i int) T) []T {
+	out := make([]T, n)
+	Run(n, workers, func(i int) { out[i] = job(i) })
+	return out
+}
+
+// MapErr is Map for fallible jobs. All jobs run to completion; if any
+// failed, the error of the lowest-indexed failure is returned alongside
+// the partial results (the same error a serial loop that kept going
+// would report first, so the choice is deterministic).
+func MapErr[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Run(n, workers, func(i int) { out[i], errs[i] = job(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

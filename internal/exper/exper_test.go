@@ -1,0 +1,101 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 129
+		hits := make([]atomic.Int32, n)
+		Run(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	Run(0, 4, func(int) { t.Fatal("job called for n=0") })
+}
+
+func TestMapResultsInSubmissionOrder(t *testing.T) {
+	serial := Map(100, 1, func(i int) int { return i * i })
+	for _, workers := range []int{2, 8, 0} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapErrReportsLowestIndexFailure(t *testing.T) {
+	fail := func(i int) (int, error) {
+		if i%3 == 2 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	}
+	want := "job 2 failed"
+	for _, workers := range []int{1, 4} {
+		out, err := MapErr(10, workers, fail)
+		if err == nil || err.Error() != want {
+			t.Fatalf("workers=%d: err = %v, want %q", workers, err, want)
+		}
+		if out[1] != 1 || out[9] != 9 {
+			t.Fatalf("workers=%d: successful results not retained: %v", workers, out)
+		}
+	}
+}
+
+func TestMapErrNoFailure(t *testing.T) {
+	out, err := MapErr(5, 3, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 || out[4] != "4" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("non-positive counts must resolve to at least one worker")
+	}
+}
+
+func TestSerialModeStaysInline(t *testing.T) {
+	// workers == 1 must execute in strict index order on the calling
+	// goroutine — observable as deterministic sequential side effects.
+	var order []int
+	Run(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestMapErrAllJobsRunDespiteFailure(t *testing.T) {
+	var ran atomic.Int32
+	_, err := MapErr(20, 4, func(i int) (struct{}, error) {
+		ran.Add(1)
+		return struct{}{}, errors.New("x")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20 jobs", ran.Load())
+	}
+}

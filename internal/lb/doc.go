@@ -1,0 +1,14 @@
+// Package lb defines the load balancing strategy interface shared by
+// the centralized, hierarchical and distributed balancers, plus the
+// cost accounting (messages, epochs, moved load) the experiment harness
+// charges for running them — the inputs to the t_lb column of Fig. 3.
+//
+// # Concurrency
+//
+// Strategy implementations must not mutate the Assignment they are
+// given; they return a Plan of proposed moves instead. A Strategy value
+// is single-owner (randomized strategies carry seeded RNG state), so
+// concurrent experiment runs must each construct their own instance.
+// Plan values are plain data and safe to read from anywhere once
+// returned.
+package lb

@@ -1,0 +1,15 @@
+// Package greedy implements the centralized GreedyLB baseline of the
+// paper's evaluation (§VI-B): gather every task load on one rank, sort
+// tasks by descending load, and repeatedly assign the heaviest remaining
+// task to the least-loaded rank (LPT scheduling). It produces
+// high-quality distributions but is "a non-scalable, centralized, greedy
+// algorithm" — its gather/scatter traffic and O(T log T) central work
+// grow with the whole machine, which is exactly why the paper uses it
+// only as a quality yardstick.
+//
+// # Concurrency
+//
+// The strategy is stateless and deterministic; distinct instances (or
+// even one instance from one goroutine at a time) serve concurrent
+// experiment runs. It never mutates the assignment it is given.
+package greedy

@@ -1,0 +1,15 @@
+// Package hier implements the hierarchical HierLB baseline (§VI-B, in
+// the style of Zheng's tree-based balancers): ranks form a tree with a
+// fixed fanout, subtree loads are aggregated bottom-up, and excess load
+// is traded between sibling subtrees top-down so every subtree converges
+// to its proportional share of the total. Its critical path grows with
+// the tree height, Ω(log P), which is why the paper expects distributed
+// schemes to overtake it at extreme scale.
+//
+// # Concurrency
+//
+// A Strategy is single-owner: the experiment harness mutates its
+// Preference field between invocations (the paper's special steps 2 and
+// 4 schedule), so concurrent runs need separate instances. It never
+// mutates the assignment it is given.
+package hier

@@ -1,10 +1,3 @@
-// Package hier implements the hierarchical HierLB baseline (§VI-B, in
-// the style of Zheng's tree-based balancers): ranks form a tree with a
-// fixed fanout, subtree loads are aggregated bottom-up, and excess load
-// is traded between sibling subtrees top-down so every subtree converges
-// to its proportional share of the total. Its critical path grows with
-// the tree height, Ω(log P), which is why the paper expects distributed
-// schemes to overtake it at extreme scale.
 package hier
 
 import (

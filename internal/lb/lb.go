@@ -1,6 +1,3 @@
-// Package lb defines the load balancing strategy interface shared by
-// the centralized, hierarchical and distributed balancers, plus the
-// cost accounting the experiment harness charges for running them.
 package lb
 
 import (

@@ -1,10 +1,3 @@
-// Package refine implements a RefineLB-style incremental balancer in
-// the tradition of Charm++'s refinement strategies: instead of
-// reassigning every task (GreedyLB), it only peels work off ranks above
-// a tolerance of the average, placing each moved task on the currently
-// least-loaded rank. Quality is slightly below LPT but migration volume
-// is minimal — a useful foil for the gossip balancers' migration
-// accounting.
 package refine
 
 import (

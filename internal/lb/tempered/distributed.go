@@ -33,6 +33,14 @@ type rankState struct {
 	trial, iter   int
 	gossipSent    int
 	gossipEntries int
+
+	// Reused per-iteration buffers: the flattened working set and its
+	// reverse id mapping, plus the transfer stage's scratch. They keep
+	// the steady-state refinement loop free of per-iteration map and
+	// slice churn.
+	tasksBuf []core.Task
+	idsBuf   []amt.ObjectID
+	xfer     core.TransferScratch
 }
 
 // xferMsg proposes one task relocation: the sender cedes the (virtual)
@@ -162,13 +170,18 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 		return res, nil
 	}
 
-	best := copyWorking(loads)
+	best := copyInto(nil, loads)
 	migBefore, bytesBefore := rc.Stats.Migrations, rc.Stats.MigrationBytes
 
 	for trial := 1; trial <= cfg.Trials; trial++ {
-		st.virtual = copyWorking(loads) // Algorithm 3 line 3
+		st.virtual = copyInto(st.virtual, loads) // Algorithm 3 line 3
 		gossipRNG := core.SeededRNG(cfg.Seed, int64(trial), int64(self), 0x60551f)
 		xferRNG := core.SeededRNG(cfg.Seed, int64(trial), int64(self), 0x7af)
+		// One gossip state per trial, reset at each iteration: the
+		// iteration's epoch has quiesced before the reset, so no in-flight
+		// message can observe a recycled knowledge buffer. The RNG stream
+		// is continuous across iterations, exactly as before.
+		st.inform = core.NewInformState(self, n, &cfg, gossipRNG)
 
 		for iter := 1; iter <= cfg.Iterations; iter++ {
 			iterStart := time.Now()
@@ -181,7 +194,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 
 			// Inform stage: asynchronous gossip under termination
 			// detection — no synchronized rounds (§IV-B).
-			st.inform = core.NewInformState(self, n, &cfg, gossipRNG)
+			st.inform.Reset()
 			rc.Epoch(func() {
 				for _, s := range st.inform.Begin(ave, sumLoad(st.virtual)) {
 					st.gossipSent++
@@ -207,8 +220,8 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				}
 				overloaded = 1
 				knowledge = float64(st.inform.Knowledge().Len())
-				tasks, ids := virtualTasks(st.virtual)
-				props, tstats, _ := core.RunTransfer(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG)
+				tasks, ids := st.virtualTasks()
+				props, tstats, _ := core.RunTransferScratch(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG, nil, &st.xfer)
 				ts = tstats
 				for _, p := range props {
 					obj := ids[p.Task]
@@ -271,7 +284,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 			if iterStat.Imbalance < res.FinalImbalance {
 				res.FinalImbalance = iterStat.Imbalance
 				res.BestTrial, res.BestIteration = trial, iter
-				best = copyWorking(st.virtual)
+				best = copyInto(best, st.virtual)
 			}
 		}
 	}
@@ -299,26 +312,36 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 }
 
 // virtualTasks flattens the working set into core tasks with dense local
-// ids, deterministically ordered, plus the reverse mapping.
-func virtualTasks(w map[amt.ObjectID]float64) ([]core.Task, []amt.ObjectID) {
-	ids := make([]amt.ObjectID, 0, len(w))
-	for obj := range w {
-		ids = append(ids, obj)
+// ids, deterministically ordered, plus the reverse mapping. Both slices
+// are backed by the rank's reusable buffers and stay valid until the
+// next call.
+func (st *rankState) virtualTasks() ([]core.Task, []amt.ObjectID) {
+	st.idsBuf = st.idsBuf[:0]
+	for obj := range st.virtual {
+		st.idsBuf = append(st.idsBuf, obj)
 	}
+	ids := st.idsBuf
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	tasks := make([]core.Task, len(ids))
+	st.tasksBuf = st.tasksBuf[:0]
 	for i, obj := range ids {
-		tasks[i] = core.Task{ID: core.TaskID(i), Load: w[obj]}
+		st.tasksBuf = append(st.tasksBuf, core.Task{ID: core.TaskID(i), Load: st.virtual[obj]})
 	}
-	return tasks, ids
+	return st.tasksBuf, ids
 }
 
-func copyWorking(w map[amt.ObjectID]float64) map[amt.ObjectID]float64 {
-	c := make(map[amt.ObjectID]float64, len(w))
-	for k, v := range w {
-		c[k] = v
+// copyInto clears dst and copies src into it, allocating only when dst
+// is nil. The working and best distributions are reset this way at each
+// trial/improvement instead of allocating fresh maps.
+func copyInto(dst, src map[amt.ObjectID]float64) map[amt.ObjectID]float64 {
+	if dst == nil {
+		dst = make(map[amt.ObjectID]float64, len(src))
+	} else {
+		clear(dst)
 	}
-	return c
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
 }
 
 func imbalance(max, ave float64) float64 {

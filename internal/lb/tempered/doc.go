@@ -1,0 +1,20 @@
+// Package tempered exposes the paper's TemperedLB (and its GrapevineLB
+// configuration) in two forms:
+//
+//   - Strategy: the offline form implementing lb.Strategy over the core
+//     engine, used by the analysis framework and the virtual-time
+//     experiment harness.
+//   - RunDistributed: the fully distributed form running on the AMT
+//     runtime — gossip as real active messages under epoch termination
+//     detection, deferred transfers, and actual object migrations.
+//
+// # Concurrency
+//
+// A Strategy owns a core.Engine and its reusable scratch state, so it
+// is single-owner: one tracker/goroutine per instance. Handlers must be
+// registered once before Runtime.Run (the registry is read-only after
+// that); RunDistributed is a collective — every rank's goroutine calls
+// it together, and each rank's protocol state is confined to that
+// rank's goroutine, with all cross-rank traffic going through the
+// runtime's active messages.
+package tempered

@@ -1,12 +1,3 @@
-// Package tempered exposes the paper's TemperedLB (and its GrapevineLB
-// configuration) in two forms:
-//
-//   - Strategy: the offline form implementing lb.Strategy over the core
-//     engine, used by the analysis framework and the virtual-time
-//     experiment harness.
-//   - RunDistributed: the fully distributed form running on the AMT
-//     runtime — gossip as real active messages under epoch termination
-//     detection, deferred transfers, and actual object migrations.
 package tempered
 
 import (

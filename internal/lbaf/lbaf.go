@@ -1,8 +1,3 @@
-// Package lbaf is the Load Balancing Analysis Framework: a deterministic
-// harness for exploring, testing and comparing load balancing strategies
-// outside the runtime, mirroring the role of the Python LBAF tool the
-// paper uses in §V. It drives the core engine over synthetic workloads
-// and renders the per-iteration tables of §V-B and §V-D.
 package lbaf
 
 import (
@@ -11,6 +6,7 @@ import (
 	"strings"
 
 	"temperedlb/internal/core"
+	"temperedlb/internal/exper"
 	"temperedlb/internal/workload"
 )
 
@@ -112,6 +108,14 @@ func RunComparison(spec workload.Spec, base core.Config) (Comparison, error) {
 // RunComparisonOn is RunComparison over a pre-built assignment (e.g. a
 // loaded workload trace).
 func RunComparisonOn(a *core.Assignment, base core.Config) (Comparison, error) {
+	return RunComparisonOnParallel(a, base, 1)
+}
+
+// RunComparisonOnParallel is RunComparisonOn running the two criterion
+// tables on up to workers goroutines (0 means GOMAXPROCS). Each table
+// owns its engine and seeded streams over the shared read-only
+// assignment, so the output is bit-identical to the serial run.
+func RunComparisonOnParallel(a *core.Assignment, base core.Config, workers int) (Comparison, error) {
 	origCfg := base
 	origCfg.Criterion = core.CriterionOriginal
 	origCfg.CMF = core.CMFOriginal
@@ -122,15 +126,20 @@ func RunComparisonOn(a *core.Assignment, base core.Config) (Comparison, error) {
 	relCfg.CMF = core.CMFModified
 	relCfg.RecomputeCMF = true
 
-	orig, err := RunIterationTableOn("criterion 35 (original)", a, origCfg)
+	jobs := []struct {
+		title string
+		cfg   core.Config
+	}{
+		{"criterion 35 (original)", origCfg},
+		{"criterion 37 (relaxed)", relCfg},
+	}
+	tables, err := exper.MapErr(len(jobs), workers, func(i int) (Table, error) {
+		return RunIterationTableOn(jobs[i].title, a, jobs[i].cfg)
+	})
 	if err != nil {
 		return Comparison{}, err
 	}
-	rel, err := RunIterationTableOn("criterion 37 (relaxed)", a, relCfg)
-	if err != nil {
-		return Comparison{}, err
-	}
-	return Comparison{Original: orig, Relaxed: rel}, nil
+	return Comparison{Original: tables[0], Relaxed: tables[1]}, nil
 }
 
 // Render writes the comparison in the paper's layout: iteration index,

@@ -207,10 +207,7 @@ func TestRunSweepRefinementGrid(t *testing.T) {
 func TestRunSweepBadConfig(t *testing.T) {
 	bad := core.Tempered()
 	bad.Fanout = 0
-	_, err := RunSweep("x", smallVB(22), []struct {
-		Label string
-		Cfg   core.Config
-	}{{"bad", bad}})
+	_, err := RunSweep("x", smallVB(22), []SweepConfig{{Label: "bad", Cfg: bad}})
 	if err == nil {
 		t.Error("bad config accepted")
 	}

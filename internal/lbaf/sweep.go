@@ -5,8 +5,15 @@ import (
 	"io"
 
 	"temperedlb/internal/core"
+	"temperedlb/internal/exper"
 	"temperedlb/internal/workload"
 )
+
+// SweepConfig is one labeled engine configuration of a parameter sweep.
+type SweepConfig struct {
+	Label string
+	Cfg   core.Config
+}
 
 // SweepPoint is one cell of a parameter sweep: the configuration values
 // swept plus the outcome.
@@ -25,26 +32,32 @@ type Sweep struct {
 	Points []SweepPoint
 }
 
-// RunSweep evaluates each labeled configuration on a fresh copy of the
-// generated workload, so every point starts from the identical initial
-// distribution.
-func RunSweep(title string, spec workload.Spec, configs []struct {
-	Label string
-	Cfg   core.Config
-}) (Sweep, error) {
+// RunSweep evaluates each labeled configuration on the same generated
+// workload, so every point starts from the identical initial
+// distribution. It is RunSweepParallel with one worker.
+func RunSweep(title string, spec workload.Spec, configs []SweepConfig) (Sweep, error) {
+	return RunSweepParallel(title, spec, configs, 1)
+}
+
+// RunSweepParallel is RunSweep fanning the configurations across up to
+// workers goroutines (0 means GOMAXPROCS). Each point runs its own
+// engine over the shared read-only assignment with its own seeded random
+// streams, and results are collected in configuration order, so the
+// sweep is bit-identical to a serial run at any worker count.
+func RunSweepParallel(title string, spec workload.Spec, configs []SweepConfig, workers int) (Sweep, error) {
 	a, err := workload.Generate(spec)
 	if err != nil {
 		return Sweep{}, err
 	}
-	sw := Sweep{Title: title}
-	for _, c := range configs {
+	pts, err := exper.MapErr(len(configs), workers, func(i int) (SweepPoint, error) {
+		c := configs[i]
 		eng, err := core.NewEngine(c.Cfg)
 		if err != nil {
-			return Sweep{}, fmt.Errorf("lbaf: sweep %q: %w", c.Label, err)
+			return SweepPoint{}, fmt.Errorf("lbaf: sweep %q: %w", c.Label, err)
 		}
 		res, err := eng.Run(a)
 		if err != nil {
-			return Sweep{}, err
+			return SweepPoint{}, err
 		}
 		pt := SweepPoint{Label: c.Label, FinalImbalance: res.FinalImbalance}
 		for _, it := range res.History {
@@ -52,29 +65,23 @@ func RunSweep(title string, spec workload.Spec, configs []struct {
 			pt.GossipEntries += it.GossipEntries
 			pt.Transfers += it.Transfers
 		}
-		sw.Points = append(sw.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return Sweep{}, err
 	}
-	return sw, nil
+	return Sweep{Title: title, Points: pts}, nil
 }
 
 // GossipSweepConfigs builds the fanout/rounds grid of the footnote-2
 // study on top of a base configuration.
-func GossipSweepConfigs(base core.Config, fanouts, rounds []int) []struct {
-	Label string
-	Cfg   core.Config
-} {
-	var out []struct {
-		Label string
-		Cfg   core.Config
-	}
+func GossipSweepConfigs(base core.Config, fanouts, rounds []int) []SweepConfig {
+	var out []SweepConfig
 	for _, f := range fanouts {
 		for _, k := range rounds {
 			cfg := base
 			cfg.Fanout, cfg.Rounds = f, k
-			out = append(out, struct {
-				Label string
-				Cfg   core.Config
-			}{fmt.Sprintf("f=%d k=%d", f, k), cfg})
+			out = append(out, SweepConfig{Label: fmt.Sprintf("f=%d k=%d", f, k), Cfg: cfg})
 		}
 	}
 	return out
@@ -82,22 +89,13 @@ func GossipSweepConfigs(base core.Config, fanouts, rounds []int) []struct {
 
 // RefinementSweepConfigs builds the trials/iterations grid of the
 // Algorithm-3 budget study.
-func RefinementSweepConfigs(base core.Config, trials, iters []int) []struct {
-	Label string
-	Cfg   core.Config
-} {
-	var out []struct {
-		Label string
-		Cfg   core.Config
-	}
+func RefinementSweepConfigs(base core.Config, trials, iters []int) []SweepConfig {
+	var out []SweepConfig
 	for _, tr := range trials {
 		for _, it := range iters {
 			cfg := base
 			cfg.Trials, cfg.Iterations = tr, it
-			out = append(out, struct {
-				Label string
-				Cfg   core.Config
-			}{fmt.Sprintf("trials=%d iters=%d", tr, it), cfg})
+			out = append(out, SweepConfig{Label: fmt.Sprintf("trials=%d iters=%d", tr, it), Cfg: cfg})
 		}
 	}
 	return out

@@ -1,0 +1,12 @@
+// Package mesh provides the spatial substrate of the EMPIRE-like PIC
+// application: a 2-D structured cell grid over the unit square, an SPMD
+// partition of it into rank subdomains, and the per-rank coloring that
+// overdecomposes each subdomain into migratable chunks ("colors" in
+// EMPIRE's terminology, Fig. 1 of the paper).
+//
+// # Concurrency
+//
+// Grids, partitions and colorings are immutable after construction, so
+// any number of goroutines may query them concurrently — the sim
+// harness shares one coloring across all trackers.
+package mesh

@@ -1,8 +1,3 @@
-// Package mesh provides the spatial substrate of the EMPIRE-like PIC
-// application: a 2-D structured cell grid over the unit square, an SPMD
-// partition of it into rank subdomains, and the per-rank coloring that
-// overdecomposes each subdomain into migratable chunks ("colors" in
-// EMPIRE's terminology, Fig. 1 of the paper).
 package mesh
 
 import (

@@ -1,16 +1,3 @@
-// Package obs is the protocol-level observability layer of the
-// distributed stack: typed trace events emitted by the transport, the
-// AMT runtime, termination detection and the distributed balancer, plus
-// a lock-cheap metrics registry, with exporters to Chrome trace_event
-// JSON (chrome://tracing, Perfetto), Prometheus text exposition, and
-// CSV/JSON dumps.
-//
-// The design goal is a hot path that pays exactly one nil-check when
-// tracing is disabled: instrumented code holds a Tracer interface value
-// that is nil by default and only constructs and emits events inside
-// `if tr != nil` guards. Metrics follow the same discipline — instrument
-// pointers are resolved once at setup and the disabled path never
-// touches them.
 package obs
 
 import (

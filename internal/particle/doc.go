@@ -1,0 +1,14 @@
+// Package particle implements the Lagrangian particle substrate of the
+// EMPIRE-like PIC application: a particle population driven by a
+// time-varying focusing field that concentrates particles spatially,
+// with an injection schedule that ramps the total particle work up over
+// the run. Together these reproduce the B-Dot problem's signature the
+// paper exploits: a large, highly-variable, dynamic load imbalance whose
+// relative magnitude decreases as the average load grows (Fig. 4c).
+//
+// # Concurrency
+//
+// A Population is single-owner: one goroutine advances it (the empire
+// App's physics loop). The per-cell counts it reports each step are
+// plain data that downstream consumers may read concurrently.
+package particle

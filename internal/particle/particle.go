@@ -1,10 +1,3 @@
-// Package particle implements the Lagrangian particle substrate of the
-// EMPIRE-like PIC application: a particle population driven by a
-// time-varying focusing field that concentrates particles spatially,
-// with an injection schedule that ramps the total particle work up over
-// the run. Together these reproduce the B-Dot problem's signature the
-// paper exploits: a large, highly-variable, dynamic load imbalance whose
-// relative magnitude decreases as the average load grows (Fig. 4c).
 package particle
 
 import (

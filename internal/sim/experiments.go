@@ -55,12 +55,22 @@ func OrderingTrackers(tweak func(core.Config) core.Config) []*Tracker {
 	}
 }
 
-// RunTrackers builds the experiment and runs it to completion.
+// RunTrackers builds the experiment and runs it to completion with the
+// default worker count (GOMAXPROCS).
 func RunTrackers(cfg empire.Config, trackers []*Tracker) (*Experiment, error) {
+	return RunTrackersWith(cfg, trackers, 0)
+}
+
+// RunTrackersWith is RunTrackers with an explicit tracker-worker cap
+// (0 means GOMAXPROCS, 1 runs serially). The results are identical at
+// any worker count; the knob exists for the cmd/empire -workers flag
+// and the serial-vs-parallel determinism tests.
+func RunTrackersWith(cfg empire.Config, trackers []*Tracker, workers int) (*Experiment, error) {
 	e, err := NewExperiment(cfg, DefaultCostModel(), trackers)
 	if err != nil {
 		return nil, err
 	}
+	e.Workers = workers
 	if err := e.Run(); err != nil {
 		return nil, err
 	}

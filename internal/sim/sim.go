@@ -1,18 +1,11 @@
-// Package sim is the virtual-time execution model and experiment harness
-// that regenerates the paper's EMPIRE evaluation (Figs. 2, 3, 4a–d). A
-// phase's elapsed time is the maximum per-rank task load — ranks
-// synchronize at phase end (§III-C) — plus the balanced non-particle
-// time; AMT configurations pay the tasking overhead of Fig. 2 on
-// particle work and are charged an LB cost model (algorithm messages
-// plus migration volume) whenever the balancer runs.
 package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"temperedlb/internal/core"
 	"temperedlb/internal/empire"
+	"temperedlb/internal/exper"
 	"temperedlb/internal/lb"
 	"temperedlb/internal/lb/hier"
 	"temperedlb/internal/mesh"
@@ -113,7 +106,12 @@ type LBStats struct {
 type Experiment struct {
 	App      *empire.App
 	Trackers []*Tracker
-	cost     CostModel
+	// Workers caps the goroutines advancing trackers within each step:
+	// 0 means GOMAXPROCS, 1 runs the trackers serially inline. Any value
+	// produces identical results — each tracker owns its assignment and
+	// strategy, and the shared per-step loads are read-only.
+	Workers int
+	cost    CostModel
 }
 
 // NewExperiment builds the application and wires the trackers.
@@ -139,8 +137,9 @@ func NewExperiment(cfg empire.Config, cost CostModel, trackers []*Tracker) (*Exp
 }
 
 // Run advances the configured number of steps. The trackers are
-// independent consumers of the shared per-step loads, so they advance
-// in parallel.
+// independent consumers of the shared per-step loads, so within each
+// step they advance concurrently on the exper worker pool, bounded by
+// e.Workers.
 func (e *Experiment) Run() error {
 	cfg := e.App.Cfg
 	errs := make([]error, len(e.Trackers))
@@ -151,17 +150,12 @@ func (e *Experiment) Run() error {
 		if s%cfg.LBPeriod == 0 {
 			tn += cfg.DiagCost // physics diagnostics share the interval
 		}
-		var wg sync.WaitGroup
-		for i, t := range e.Trackers {
-			wg.Add(1)
-			go func(i int, t *Tracker) {
-				defer wg.Done()
-				if err := t.step(s, cfg, loads, tn); err != nil && errs[i] == nil {
-					errs[i] = fmt.Errorf("sim: tracker %s: %w", t.Name, err)
-				}
-			}(i, t)
-		}
-		wg.Wait()
+		exper.Run(len(e.Trackers), e.Workers, func(i int) {
+			t := e.Trackers[i]
+			if err := t.step(s, cfg, loads, tn); err != nil && errs[i] == nil {
+				errs[i] = fmt.Errorf("sim: tracker %s: %w", t.Name, err)
+			}
+		})
 		for _, err := range errs {
 			if err != nil {
 				return err

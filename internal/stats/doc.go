@@ -1,0 +1,10 @@
+// Package stats provides the load statistics used throughout the load
+// balancing algorithms: the imbalance metric of Menon et al. (Eq. 1 of
+// the paper), per-rank load summaries, and small descriptive-statistics
+// helpers shared by the simulator and the runtime.
+//
+// # Concurrency
+//
+// Every function is pure — no package state, no mutation of arguments —
+// so all of them are safe to call from any number of goroutines.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the load statistics used throughout the load
-// balancing algorithms: the imbalance metric of Menon et al. (Eq. 1 of the
-// paper), per-rank load summaries, and small descriptive-statistics
-// helpers shared by the simulator and the runtime.
 package stats
 
 import (

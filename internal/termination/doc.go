@@ -1,0 +1,14 @@
+// Package termination implements distributed termination detection for
+// the AMT runtime's epochs: Safra's ring-based extension of Dijkstra's
+// algorithm, which tolerates asynchronous message passing. The paper's
+// vt runtime relies on exactly this class of algorithm to detect when
+// "all causally related gossip messages have been received and
+// processed" (§IV-B).
+//
+// # Concurrency
+//
+// Each rank holds its own Detector, driven exclusively by that rank's
+// goroutine as it sends, receives and goes idle; detectors communicate
+// only via token messages on the comm transport's goroutine-safe
+// inboxes. No detector state is shared between goroutines.
+package termination

@@ -1,9 +1,3 @@
-// Package termination implements distributed termination detection for
-// the AMT runtime's epochs: Safra's ring-based extension of Dijkstra's
-// algorithm, which tolerates asynchronous message passing. The paper's
-// vt runtime relies on exactly this class of algorithm to detect when
-// "all causally related gossip messages have been received and
-// processed" (§IV-B).
 package termination
 
 import "fmt"

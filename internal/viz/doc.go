@@ -1,0 +1,9 @@
+// Package viz renders small ASCII visualizations for the experiment
+// CLIs: sparklines for single series and multi-series line plots that
+// approximate the paper's figures in a terminal.
+//
+// # Concurrency
+//
+// The renderers are pure functions of their inputs; concurrent calls
+// are safe as long as callers do not share an io.Writer.
+package viz

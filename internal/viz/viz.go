@@ -1,6 +1,3 @@
-// Package viz renders small ASCII visualizations for the experiment
-// CLIs: sparklines for single series and multi-series line plots that
-// approximate the paper's figures in a terminal.
 package viz
 
 import (

@@ -1,0 +1,12 @@
+// Package workload generates synthetic task distributions for exercising
+// the load balancers: the paper's §V-B analysis case (10^4 tasks
+// clustered on 16 of 4096 ranks with a light/heavy load mixture),
+// uniform and clustered distributions, and time-varying load drifts.
+//
+// # Concurrency
+//
+// Generate is pure up to its own seeded RNG, which it derives from
+// Spec.Seed and owns for the duration of the call — concurrent Generate
+// calls (even with identical specs) are safe and deterministic. The
+// returned Assignment is exclusively the caller's.
+package workload

@@ -1,6 +1,3 @@
-// Package workload generates synthetic task distributions for exercising
-// the load balancers: the paper's §V-B analysis case, uniform and
-// clustered distributions, and time-varying load drifts.
 package workload
 
 import (

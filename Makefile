@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-json bench-compare
+.PHONY: build test vet race chaos check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The CI gate: static analysis, the race-enabled suite, and the
-# benchmark regression diff against the committed trajectory.
-check: vet race bench-compare
+# The fault-injection suite under the race detector: seeded drop/dup/
+# delay/straggler plans against the transport, the ack/retry layer, and
+# the distributed balancer end-to-end (including the faulted-equals-
+# fault-free determinism check).
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|GossipDrop' ./...
+
+# The CI gate: static analysis, the race-enabled suite, the chaos
+# suite, and the benchmark regression diff against the committed
+# trajectory.
+check: vet race chaos bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...

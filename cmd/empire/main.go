@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
 	"temperedlb/internal/empire"
 	"temperedlb/internal/lbaf"
@@ -38,6 +39,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the virtual per-step timeline as Chrome trace_event JSON to this file (one track per configuration; open in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write per-configuration summary metrics in Prometheus text format to this file")
 		workers    = flag.Int("workers", 0, "concurrent tracker goroutines per step (0 = GOMAXPROCS, 1 = serial); output is identical at any worker count")
+		faults     = flag.String("faults", "", "simulate lossy gossip in the distributed balancers, e.g. \"drop=0.05\" (drop= only)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 		stride = *every
 	}
 
+	drop := engineGossipDrop(*faults)
 	tweak := func(c core.Config) core.Config {
 		if *trials > 0 {
 			c.Trials = *trials
@@ -68,6 +71,7 @@ func main() {
 		if *rounds > 0 {
 			c.Rounds = *rounds
 		}
+		c.GossipDrop = drop
 		return c
 	}
 
@@ -155,6 +159,25 @@ func main() {
 		})
 		log.Printf("wrote metrics to %s", *metricsOut)
 	}
+}
+
+// engineGossipDrop parses a -faults directive for the engine-driven
+// simulation. The synchronous engine simulates only the gossip stage's
+// transport, so it can model loss there and nothing else; any richer
+// directive needs the distributed runtime (lbplay -distributed -faults).
+func engineGossipDrop(faults string) float64 {
+	if faults == "" {
+		return 0
+	}
+	sp, err := comm.ParseFaultSpec(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sp.Dup != 0 || sp.DelayMin != 0 || sp.DelayMax != 0 || len(sp.SlowRanks) > 0 ||
+		sp.RetryBase != 0 || sp.RetryCap != 0 || sp.Seed != 0 {
+		log.Fatal("engine experiments support drop= only: the synchronous engine seeds gossip loss from -seed; dup/delay/slow/retry need the distributed runtime (lbplay -distributed -faults)")
+	}
+	return sp.Drop
 }
 
 // virtualTimeline converts each tracker's per-step series into trace

@@ -11,11 +11,31 @@ import (
 	"os"
 	"strings"
 
+	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
 	"temperedlb/internal/lbaf"
 	"temperedlb/internal/obs"
 	"temperedlb/internal/workload"
 )
+
+// engineGossipDrop parses a -faults directive for the engine-driven
+// experiments. The synchronous engine simulates only the gossip stage's
+// transport, so it can model loss there and nothing else; any richer
+// directive needs the distributed runtime (lbplay -distributed -faults).
+func engineGossipDrop(faults string) float64 {
+	if faults == "" {
+		return 0
+	}
+	sp, err := comm.ParseFaultSpec(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sp.Dup != 0 || sp.DelayMin != 0 || sp.DelayMax != 0 || len(sp.SlowRanks) > 0 ||
+		sp.RetryBase != 0 || sp.RetryCap != 0 || sp.Seed != 0 {
+		log.Fatal("engine experiments support drop= only: the synchronous engine seeds gossip loss from -seed; dup/delay/slow/retry need the distributed runtime (lbplay -distributed -faults)")
+	}
+	return sp.Drop
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +55,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the engine's lb.run/lb.iteration spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write the experiment's table columns as Prometheus text metrics to this file")
 		workers    = flag.Int("workers", 1, "concurrent engine runs for compare/sweep experiments (0 = GOMAXPROCS); output is identical at any worker count")
+		faults     = flag.String("faults", "", "simulate lossy gossip, e.g. \"drop=0.05\" (engine experiments support drop= only)")
 	)
 	flag.Parse()
 
@@ -80,6 +101,7 @@ func main() {
 	base.Fanout = *fanout
 	base.Threshold = *thresh
 	base.Seed = *seed
+	base.GossipDrop = engineGossipDrop(*faults)
 	if rec != nil {
 		base.Tracer = rec
 	}

@@ -29,6 +29,7 @@ func main() {
 		dist       = flag.Bool("distributed", false, "run the gossip balancer on the real AMT runtime")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in Perfetto); tempered or -distributed runs")
 		metricsOut = flag.String("metrics", "", "write runtime metrics in Prometheus text format to this file (-distributed only)")
+		faults     = flag.String("faults", "", "inject transport faults, e.g. \"seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms\" (-distributed only)")
 	)
 	flag.Parse()
 
@@ -68,11 +69,14 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(a, *seed, *traceOut, *metricsOut)
+		runDistributed(a, *seed, *traceOut, *metricsOut, *faults)
 		return
 	}
 	if *metricsOut != "" {
 		log.Fatal("-metrics needs the runtime's registry; combine it with -distributed")
+	}
+	if *faults != "" {
+		log.Fatal("-faults injects transport faults; combine it with -distributed (engine strategies take cfg.GossipDrop instead)")
 	}
 
 	var rec *temperedlb.TraceRecorder
@@ -143,7 +147,7 @@ func writeExport(path string, write func(io.Writer) error) {
 // runDistributed scatters equivalent synthetic objects over a real AMT
 // runtime and executes the distributed protocol, optionally with the
 // observability stack attached.
-func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath string) {
+func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string) {
 	n := a.NumRanks()
 	var opts []temperedlb.RuntimeOption
 	var rec *temperedlb.TraceRecorder
@@ -155,6 +159,17 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 		opts = append(opts, temperedlb.WithMetrics())
 	}
 	rt := temperedlb.NewRuntime(n, opts...)
+	var faultSpec temperedlb.FaultSpec
+	if faults != "" {
+		sp, err := temperedlb.ParseFaultSpec(faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.SetFaults(sp); err != nil {
+			log.Fatal(err)
+		}
+		faultSpec = sp
+	}
 	h := temperedlb.RegisterLBHandlers(rt, 1)
 	results := make([]temperedlb.DistributedResult, n)
 	rt.Run(func(rc *temperedlb.RankContext) {
@@ -186,6 +201,12 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 	fmt.Printf("transport       %d messages total (gossip, transfers, termination, commit)\n", rt.TotalMessages())
 	fmt.Printf("protocol cost   %d gossip + %d transfer messages, %.3fs wall clock\n",
 		res.GossipMessages, res.TransferMessages, res.ElapsedSeconds)
+	if !faultSpec.Empty() {
+		st := rt.FaultStats()
+		fmt.Printf("faults          %s\n", faultSpec)
+		fmt.Printf("fault damage    %d dropped, %d duplicated; recovery: %d retries, %d dup discards\n",
+			st.Dropped, st.Duplicated, st.Retries, st.DupDrops)
+	}
 	if rec != nil {
 		events := rec.Events()
 		writeExport(tracePath, func(w io.Writer) error {

@@ -26,6 +26,7 @@ const (
 	kindGatherResult
 	kindReduceVec
 	kindReduceVecResult
+	kindAck
 )
 
 // envelope wraps user payloads with the epoch tag used by termination
@@ -78,6 +79,10 @@ type Context struct {
 	detectors map[int64]*termination.Detector
 	pending   map[int64][]comm.Message
 
+	// rel is the ack/retry reliability layer, non-nil only when the
+	// runtime's fault plan can drop or duplicate counted messages.
+	rel *reliableState
+
 	collSeq      int64
 	barArrivals  map[int64]int     // rank 0: arrivals per barrier seq
 	barReleased  map[int64]bool    // releases received
@@ -122,7 +127,7 @@ type reduce struct {
 }
 
 func newContext(rt *Runtime, rank core.Rank) *Context {
-	return &Context{
+	rc := &Context{
 		rt:           rt,
 		rank:         rank,
 		n:            rt.n,
@@ -142,6 +147,10 @@ func newContext(rt *Runtime, rank core.Rank) *Context {
 		tr:           rt.tracer,
 		ins:          rt.ins,
 	}
+	if rt.reliable {
+		rc.rel = newReliableState(rt.n, rt.retryBase, rt.retryCap)
+	}
+	return rc
 }
 
 // Rank returns this context's rank.
@@ -187,9 +196,14 @@ func (rc *Context) Send(to core.Rank, h HandlerID, data any) {
 }
 
 // send stamps epoch accounting and hands the message to the transport.
+// Under the reliability layer every epoch-counted send also gets a
+// MsgID and a retransmission credit (see reliable.go).
 func (rc *Context) send(m comm.Message) {
 	if id := msgEpoch(m); id != 0 {
 		rc.detector(id).OnSend()
+		if rc.rel != nil {
+			rc.rel.track(&m, id)
+		}
 	}
 	rc.rt.nw.Send(m)
 }
@@ -261,15 +275,18 @@ func (rc *Context) Epoch(body func()) {
 		rc.Emit(obs.Event{Type: obs.EvEpochOpen, Peer: -1, Object: -1, Epoch: rc.epochSeq})
 	}
 
-	// Deliver messages that raced ahead of our entry.
+	body()
+
+	// Deliver messages that raced ahead of our entry — after body, so the
+	// rank's own burst always runs on pre-epoch state: whether a peer's
+	// message beat us into the epoch (a scheduling and transport-delay
+	// accident) cannot change what body observes.
 	if stash := rc.pending[rc.epochSeq]; len(stash) > 0 {
 		delete(rc.pending, rc.epochSeq)
 		for _, m := range stash {
 			rc.dispatch(m)
 		}
 	}
-
-	body()
 
 	for !rc.epochDone {
 		// Drain everything already queued: we are active while messages
@@ -306,12 +323,13 @@ func (rc *Context) Epoch(body func()) {
 			}
 			break
 		}
-		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+		m, ok := rc.recvEpoch()
 		if !ok {
 			panic("amt: network closed inside epoch")
 		}
 		rc.dispatch(m)
 	}
+	rc.assertAcked(rc.epochSeq)
 	waves := d.Wave()
 	rc.inEpoch = false
 	delete(rc.detectors, rc.epochSeq)
@@ -331,7 +349,25 @@ func (rc *Context) Epoch(body func()) {
 
 // dispatch routes one transport message. Counted messages belonging to a
 // future epoch are stashed until this rank enters it.
+//
+// Reliability runs first: acks retire sender credits, and counted
+// messages carrying a MsgID pass the dedup filter BEFORE the epoch
+// guards — a late duplicate of a finished epoch's message must be
+// re-acked and discarded, not treated as a protocol violation. An
+// accepted first copy is re-marked with MsgID -1 so its processing
+// (immediately or later from the stash) uses ack-based detector
+// accounting exactly once.
 func (rc *Context) dispatch(m comm.Message) {
+	if m.Kind == kindAck {
+		rc.onAck(m)
+		return
+	}
+	if m.MsgID > 0 {
+		if !rc.accept(m) {
+			return
+		}
+		m.MsgID = -1
+	}
 	if id := msgEpoch(m); id != 0 && (!rc.inEpoch || id != rc.epochSeq) {
 		if id <= rc.epochSeq {
 			panic(fmt.Sprintf("amt: rank %d got message for finished epoch %d (now %d)",
@@ -343,7 +379,7 @@ func (rc *Context) dispatch(m comm.Message) {
 	switch m.Kind {
 	case kindUser:
 		env := m.Data.(envelope)
-		rc.countReceive(env.EpochID)
+		rc.countReceive(env.EpochID, m.MsgID)
 		h := HandlerID(m.Handler)
 		if rc.tr == nil && rc.ins == nil {
 			rc.rt.handlers[h](rc, core.Rank(m.From), env.Data)
@@ -358,7 +394,7 @@ func (rc *Context) dispatch(m comm.Message) {
 		rc.installMigration(m)
 	case kindLocUpdate:
 		env := m.Data.(locEnvelope)
-		rc.countReceive(env.EpochID)
+		rc.countReceive(env.EpochID, m.MsgID)
 		rc.location[env.Obj] = env.Loc
 	case kindToken:
 		env := m.Data.(tokenEnvelope)
@@ -423,8 +459,17 @@ func (rc *Context) stashableToken(env tokenEnvelope, m comm.Message) {
 	rc.detector(env.EpochID).OnToken(env.Token)
 }
 
-func (rc *Context) countReceive(epochID int64) {
-	if epochID != 0 {
-		rc.detector(epochID).OnReceive()
+// countReceive feeds one counted receipt to the epoch's detector. A
+// negative msgID marks a delivery the reliability layer accepted: the
+// receiver only blackens, and the counter decrement happens on the
+// sender when the ack arrives (see reliable.go).
+func (rc *Context) countReceive(epochID, msgID int64) {
+	if epochID == 0 {
+		return
 	}
+	if msgID < 0 {
+		rc.detector(epochID).OnDeliver()
+		return
+	}
+	rc.detector(epochID).OnReceive()
 }

@@ -11,6 +11,14 @@
 // goroutine per rank executing the supplied main function; inside it,
 // ranks exchange active messages and call collectives in matching order.
 //
+// When Runtime.SetFaults installs a lossy transport plan, epoch sends
+// switch to reliable delivery (reliable.go): sequence-numbered sends,
+// receiver-side deduplication, acks, and retransmission with backoff —
+// and Safra's counter is settled by acks rather than deliveries, so
+// termination still certifies exactly-once delivery under drops,
+// duplicates and reordering. With no faults installed none of this
+// machinery exists on the fast path.
+//
 // # Concurrency
 //
 // Each rank's handlers run only on that rank's goroutine, so handler

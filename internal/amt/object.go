@@ -113,7 +113,7 @@ func (rc *Context) routeObject(m comm.Message) {
 // knowledge.
 func (rc *Context) dispatchObject(m comm.Message) {
 	env := m.Data.(objEnvelope)
-	rc.countReceive(env.EpochID)
+	rc.countReceive(env.EpochID, m.MsgID)
 	if state, ok := rc.objects[env.Obj]; ok {
 		rc.runObjectHandler(HandlerID(m.Handler), env, state)
 		return
@@ -180,7 +180,7 @@ func (rc *Context) runObjectHandler(h HandlerID, env objEnvelope, state any) {
 // installMigration receives a migrating object.
 func (rc *Context) installMigration(m comm.Message) {
 	env := m.Data.(migrateEnvelope)
-	rc.countReceive(env.EpochID)
+	rc.countReceive(env.EpochID, m.MsgID)
 	rc.objects[env.Obj] = env.State
 	rc.location[env.Obj] = rc.rank
 	if home := env.Obj.Home(); home != rc.rank {

@@ -3,6 +3,7 @@ package amt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"temperedlb/internal/comm"
@@ -32,6 +33,14 @@ type Runtime struct {
 	handlerNames map[HandlerID]string
 	running      bool
 
+	// Fault recovery (see SetFaults and reliable.go): reliable switches
+	// the contexts to ack/retry delivery; the atomics aggregate the
+	// per-rank recovery activity for FaultStats.
+	reliable            bool
+	retryBase, retryCap time.Duration
+	retries             atomic.Int64
+	dupDrops            atomic.Int64
+
 	tracer  obs.Tracer
 	metrics *obs.Metrics
 	ins     *instruments
@@ -49,6 +58,8 @@ type instruments struct {
 	migrations     *obs.Counter
 	migrationBytes *obs.Counter
 	collectives    *obs.Counter
+	retries        *obs.Counter
+	dupDrops       *obs.Counter
 }
 
 // Option configures a Runtime at construction.
@@ -111,6 +122,8 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 		migrations:     m.Counter("amt_migrations_total"),
 		migrationBytes: m.Counter("amt_migration_bytes_total"),
 		collectives:    m.Counter("amt_collectives_total"),
+		retries:        m.Counter("amt_retries_total"),
+		dupDrops:       m.Counter("amt_duplicates_dropped_total"),
 	}
 	rt.metrics = m
 	rt.nw.EnableByteAccounting()
@@ -123,6 +136,7 @@ var kindNames = [...]string{
 	"user", "object", "migrate", "locupdate", "token", "done",
 	"barrier", "release", "reduce", "reduce_result",
 	"gather", "gather_result", "reduce_vec", "reduce_vec_result",
+	"ack",
 }
 
 // Metrics returns the runtime's registry with the transport-level
@@ -143,6 +157,12 @@ func (rt *Runtime) Metrics() *obs.Metrics {
 		}
 		if b > 0 {
 			rt.metrics.Counter(fmt.Sprintf("comm_bytes_total{kind=%q}", name)).Store(b)
+		}
+		if d := rt.nw.DroppedByKind(comm.Kind(k)); d > 0 {
+			rt.metrics.Counter(fmt.Sprintf("comm_dropped_total{kind=%q}", name)).Store(d)
+		}
+		if d := rt.nw.DuplicatedByKind(comm.Kind(k)); d > 0 {
+			rt.metrics.Counter(fmt.Sprintf("comm_duplicated_total{kind=%q}", name)).Store(d)
 		}
 	}
 	rt.metrics.Counter("comm_messages_all_total").Store(msgs)
@@ -236,4 +256,76 @@ func (rt *Runtime) TotalMessages() int64 { return rt.nw.TotalSent() }
 func (rt *Runtime) SetJitter(max time.Duration) {
 	rt.mustNotRun("SetJitter")
 	rt.nw.SetJitter(max)
+}
+
+// SetFaults installs a fault-injection spec on the transport and, when
+// the spec can lose or duplicate messages, switches the runtime to
+// reliable (ack/retry, deduplicated) delivery of epoch messages so
+// termination detection still observes quiescence (see reliable.go).
+//
+// Drop and duplication apply only to the counted epoch kinds (user,
+// object, migrate, locupdate): the runtime's own control traffic —
+// termination tokens, done announcements, acks, collectives — rides a
+// reliable channel by construction, exactly as a production transport
+// would layer its protocol state over TCP while application payloads
+// take a lossy fast path. Delay windows and stragglers apply to every
+// kind. Call before Run; an empty spec leaves the transport (and the
+// fault-free fast path) untouched.
+func (rt *Runtime) SetFaults(sp comm.FaultSpec) error {
+	rt.mustNotRun("SetFaults")
+	if err := sp.Validate(rt.n); err != nil {
+		return err
+	}
+	if sp.Empty() {
+		rt.nw.SetFaultPlan(nil)
+		rt.reliable = false
+		return nil
+	}
+	rt.nw.SetFaultPlan(sp.Plan(kindUser, kindObject, kindMigrate, kindLocUpdate))
+	rt.reliable = sp.Drop > 0 || sp.Dup > 0
+	rt.retryBase = sp.RetryBase
+	if rt.retryBase == 0 {
+		// The default must exceed the worst-case ack round trip under the
+		// spec's own delay bounds, or every delayed delivery triggers a
+		// spurious retransmission (harmless — the dedup filter absorbs it —
+		// but it floods the transport and drowns the retry statistics).
+		var slow time.Duration
+		for _, d := range sp.SlowRanks {
+			if d > slow {
+				slow = d
+			}
+		}
+		// Both legs of the round trip are delayed (the data message and its
+		// ack), each by up to DelayMax plus two straggler penalties, and
+		// queueing on a busy receiver adds more: give the first deadline
+		// 2x the worst-case transport round trip before retransmitting.
+		rt.retryBase = 4 * (sp.DelayMax + 2*slow)
+		if rt.retryBase < defaultRetryBase {
+			rt.retryBase = defaultRetryBase
+		}
+	}
+	rt.retryCap = sp.RetryCap
+	return nil
+}
+
+// FaultStats reports the damage a fault plan did and what recovery it
+// took. Safe to call during and after Run.
+type FaultStats struct {
+	// Dropped and Duplicated count transport-level injections.
+	Dropped, Duplicated int64
+	// Retries counts retransmissions of unacknowledged epoch sends;
+	// DupDrops counts receiver-side discards of redundant deliveries
+	// (transport duplicates and redundant retransmissions).
+	Retries, DupDrops int64
+}
+
+// FaultStats returns the accumulated fault-injection and recovery
+// counters.
+func (rt *Runtime) FaultStats() FaultStats {
+	return FaultStats{
+		Dropped:    rt.nw.TotalDropped(),
+		Duplicated: rt.nw.TotalDuplicated(),
+		Retries:    rt.retries.Load(),
+		DupDrops:   rt.dupDrops.Load(),
+	}
 }

@@ -20,6 +20,7 @@ type Message struct {
 	Kind     Kind
 	Handler  int32 // runtime handler id, meaningful for user kinds
 	Seq      int64 // per-sender sequence number, set by Send
+	MsgID    int64 // reliability id, set by layers that dedup/retransmit (0 = none)
 	Data     any
 }
 
@@ -41,11 +42,20 @@ type Network struct {
 	sent    atomic.Int64
 	seq     []atomic.Int64
 	closed  atomic.Bool
-	jitter  time.Duration
-	jrng    atomic.Uint64
+	plan    atomic.Pointer[FaultPlan]
+
+	// delayMu fences delayed-delivery registration against Close:
+	// readers (senders scheduling a delayed copy) join the inflight
+	// group under the read lock, and Close flips closed under the write
+	// lock, so once Close holds the lock no new in-flight delivery can
+	// appear and inflight.Wait() observes them all.
+	delayMu  sync.RWMutex
+	inflight sync.WaitGroup
 
 	sentKind  [MaxKinds]atomic.Int64
 	bytesKind [MaxKinds]atomic.Int64
+	dropKind  [MaxKinds]atomic.Int64
+	dupKind   [MaxKinds]atomic.Int64
 	countB    atomic.Bool
 }
 
@@ -70,10 +80,36 @@ func NewNetwork(n int) *Network {
 // variance. Per-sender FIFO is intentionally NOT preserved under jitter
 // — the point is to stress ordering assumptions (the runtime's
 // termination detection and location forwarding must tolerate arbitrary
-// interleavings). Set before any traffic flows; zero disables.
+// interleavings). It is sugar for a delay-only fault plan. Must be set
+// before any traffic flows (enforced: setting it after a Send panics);
+// zero disables.
 func (nw *Network) SetJitter(max time.Duration) {
-	nw.jitter = max
-	nw.jrng.Store(0x9e3779b97f4a7c15)
+	if max < 0 {
+		panic("comm: SetJitter: negative jitter")
+	}
+	if max == 0 {
+		nw.SetFaultPlan(nil)
+		return
+	}
+	nw.SetFaultPlan(&FaultPlan{Seed: 0x5eed, DelayMax: max})
+}
+
+// SetFaultPlan installs (or, with nil, removes) the fault schedule every
+// subsequent delivery is subjected to. The plan is copied; see FaultPlan
+// for the semantics. Like SetJitter it must be called before any
+// traffic flows — fault decisions are keyed by per-sender sequence
+// numbers, so swapping plans mid-traffic would make runs unreproducible
+// and race with in-flight accounting; calling it after a Send panics.
+func (nw *Network) SetFaultPlan(p *FaultPlan) {
+	if nw.TotalSent() > 0 {
+		panic("comm: SetFaultPlan/SetJitter after traffic has flowed")
+	}
+	if !p.active() {
+		nw.plan.Store(nil)
+		return
+	}
+	p.validate()
+	nw.plan.Store(p.clone())
 }
 
 // NumRanks returns the number of ranks.
@@ -98,21 +134,60 @@ func (nw *Network) Send(m Message) {
 	if nw.countB.Load() {
 		nw.bytesKind[m.Kind].Add(int64(EstimateBytes(m.Data)))
 	}
-	if nw.jitter > 0 {
-		// xorshift over an atomic word keeps the delay stream cheap and
-		// lock-free across concurrent senders.
-		x := nw.jrng.Add(0x9e3779b97f4a7c15)
-		x ^= x >> 33
-		x *= 0xff51afd7ed558ccd
-		x ^= x >> 33
-		delay := time.Duration(x % uint64(nw.jitter))
-		go func() {
-			time.Sleep(delay)
-			nw.inboxes[m.To].push(m)
-		}()
+	if p := nw.plan.Load(); p != nil {
+		nw.faultedDeliver(p, m)
 		return
 	}
 	nw.inboxes[m.To].push(m)
+}
+
+// faultedDeliver applies the fault plan to one message: it may be
+// dropped, delivered once or twice, and each delivered copy may be
+// delayed. All decisions are pure functions of (plan seed, sender,
+// per-sender sequence), so concurrent senders share no fault state.
+func (nw *Network) faultedDeliver(p *FaultPlan, m Message) {
+	if pr := p.Drop[m.Kind]; pr > 0 && faultUniform(p.Seed, m.From, m.Seq, saltDrop) < pr {
+		nw.dropKind[m.Kind].Add(1)
+		return
+	}
+	nw.deliverCopy(p, m, saltDelay)
+	if pr := p.Dup[m.Kind]; pr > 0 && faultUniform(p.Seed, m.From, m.Seq, saltDup) < pr {
+		nw.dupKind[m.Kind].Add(1)
+		nw.deliverCopy(p, m, saltDupDelay)
+	}
+}
+
+// deliverCopy lands one copy of m, immediately or after its drawn delay.
+func (nw *Network) deliverCopy(p *FaultPlan, m Message, salt uint64) {
+	delay := p.delayFor(m, salt)
+	if delay <= 0 {
+		nw.inboxes[m.To].push(m)
+		return
+	}
+	nw.deliverLater(m, delay)
+}
+
+// deliverLater schedules a delayed delivery, registering it with the
+// in-flight group so Close waits for it instead of racing it (delayed
+// messages used to be silently lost when the network closed while they
+// slept).
+func (nw *Network) deliverLater(m Message, delay time.Duration) {
+	nw.delayMu.RLock()
+	if nw.closed.Load() {
+		// Close has already begun and may have finished waiting: deliver
+		// synchronously so the message is at least queued, mirroring an
+		// undelayed send racing Close.
+		nw.delayMu.RUnlock()
+		nw.inboxes[m.To].push(m)
+		return
+	}
+	nw.inflight.Add(1)
+	nw.delayMu.RUnlock()
+	go func() {
+		defer nw.inflight.Done()
+		time.Sleep(delay)
+		nw.inboxes[m.To].push(m)
+	}()
 }
 
 // TotalSent returns the number of messages sent on the network so far.
@@ -133,6 +208,43 @@ func (nw *Network) SentByKind(k Kind) int64 {
 		return 0
 	}
 	return nw.sentKind[k].Load()
+}
+
+// DroppedByKind returns the number of messages of the given kind the
+// fault plan has dropped so far.
+func (nw *Network) DroppedByKind(k Kind) int64 {
+	if k < 0 || k >= MaxKinds {
+		return 0
+	}
+	return nw.dropKind[k].Load()
+}
+
+// DuplicatedByKind returns the number of messages of the given kind the
+// fault plan has duplicated so far (each counted once, however many
+// copies landed).
+func (nw *Network) DuplicatedByKind(k Kind) int64 {
+	if k < 0 || k >= MaxKinds {
+		return 0
+	}
+	return nw.dupKind[k].Load()
+}
+
+// TotalDropped sums the fault-plan drops over all kinds.
+func (nw *Network) TotalDropped() int64 {
+	total := int64(0)
+	for k := range nw.dropKind {
+		total += nw.dropKind[k].Load()
+	}
+	return total
+}
+
+// TotalDuplicated sums the fault-plan duplications over all kinds.
+func (nw *Network) TotalDuplicated() int64 {
+	total := int64(0)
+	for k := range nw.dupKind {
+		total += nw.dupKind[k].Load()
+	}
+	return total
 }
 
 // BytesByKind returns the accumulated payload bytes of the given kind;
@@ -165,19 +277,40 @@ func (nw *Network) RecvWait(rank int) (Message, bool) {
 	return nw.inboxes[rank].popWait()
 }
 
+// RecvWaitTimeout is RecvWait with a deadline: it returns timedOut=true
+// (and ok=false) when d elapses with no message and the network still
+// open. The runtime's retransmission pump uses it; the fault-free path
+// never calls it, so the timer cost is confined to faulted runs.
+func (nw *Network) RecvWaitTimeout(rank int, d time.Duration) (m Message, ok, timedOut bool) {
+	return nw.inboxes[rank].popWaitTimeout(d)
+}
+
 // Pending returns the number of queued messages for rank.
 func (nw *Network) Pending(rank int) int {
 	return nw.inboxes[rank].len()
 }
 
 // Close wakes all blocked receivers; subsequent RecvWait calls drain
-// remaining messages and then report ok=false.
+// remaining messages and then report ok=false. Close first waits for
+// every in-flight delayed delivery to land, so messages a fault plan
+// (or jitter) was still holding are drained by receivers rather than
+// silently lost. Close is idempotent; concurrent calls may return
+// before the first caller has finished closing the inboxes.
 func (nw *Network) Close() {
-	nw.closed.Store(true)
+	nw.delayMu.Lock()
+	first := nw.closed.CompareAndSwap(false, true)
+	nw.delayMu.Unlock()
+	if !first {
+		return
+	}
+	nw.inflight.Wait()
 	for _, ib := range nw.inboxes {
 		ib.close()
 	}
 }
+
+// Closed reports whether Close has been called.
+func (nw *Network) Closed() bool { return nw.closed.Load() }
 
 // inbox is an unbounded MPSC queue with blocking pop.
 type inbox struct {
@@ -216,6 +349,34 @@ func (ib *inbox) popWait() (Message, bool) {
 		}
 		if ib.closed {
 			return Message{}, false
+		}
+		ib.cond.Wait()
+	}
+}
+
+// popWaitTimeout is popWait with a deadline. The third result is true
+// when the deadline expired with the inbox empty and still open. The
+// timer broadcasts on the condition variable; each inbox has a single
+// consumer, so the wakeup cannot be stolen by another waiter.
+func (ib *inbox) popWaitTimeout(d time.Duration) (Message, bool, bool) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		ib.mu.Lock()
+		defer ib.mu.Unlock()
+		ib.cond.Broadcast()
+	})
+	defer timer.Stop()
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if m, ok := ib.popLocked(); ok {
+			return m, true, false
+		}
+		if ib.closed {
+			return Message{}, false, false
+		}
+		if !time.Now().Before(deadline) {
+			return Message{}, false, true
 		}
 		ib.cond.Wait()
 	}

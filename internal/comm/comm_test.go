@@ -239,6 +239,30 @@ func TestJitterDeliversEverything(t *testing.T) {
 	}
 }
 
+func TestCloseWaitsForDelayedDeliveries(t *testing.T) {
+	// Regression: Close used to close the inboxes while jittered
+	// deliveries were still sleeping in their goroutines, so receivers
+	// draining after Close would miss them — counted messages silently
+	// lost on shutdown.
+	nw := NewNetwork(2)
+	nw.SetJitter(3 * time.Millisecond)
+	const n = 200
+	for i := 0; i < n; i++ {
+		nw.Send(Message{From: 0, To: 1, Data: i})
+	}
+	nw.Close()
+	got := 0
+	for {
+		if _, ok := nw.RecvWait(1); !ok {
+			break
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d messages after Close", got, n)
+	}
+}
+
 func TestPerKindCounters(t *testing.T) {
 	nw := NewNetwork(2)
 	for i := 0; i < 5; i++ {

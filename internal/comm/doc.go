@@ -5,6 +5,14 @@
 // everything above it (active messages, epochs, termination detection,
 // collectives) is implemented for real on top of this transport.
 //
+// The transport doubles as a fault harness: a FaultPlan (built from a
+// FaultSpec, parsed by ParseFaultSpec) makes it drop, duplicate, delay
+// or straggle messages under stateless seeded per-message decisions, so
+// a given plan injects the same faults on every run regardless of
+// goroutine scheduling. An absent plan leaves the fault-free fast path
+// untouched. Recovery is not this package's job — internal/amt layers
+// ack/retry and deduplication on top (see DESIGN.md §7).
+//
 // # Concurrency
 //
 // The inboxes are the concurrency boundary of the whole distributed

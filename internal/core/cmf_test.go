@@ -153,6 +153,178 @@ func TestCMFSampleDistribution(t *testing.T) {
 	}
 }
 
+// TestCMFEdgeCases pins the boundary behaviour of BUILDCMF for both
+// normalization kinds: knowledge where every rank sits at or above the
+// normalization level, degenerate all-zero mass, and single-candidate
+// knowledge.
+func TestCMFEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    CMFKind
+		ave     float64
+		entries []RankLoad
+		wantOK  bool
+		// wantProbs is checked entry-by-entry when wantOK; keys are the
+		// candidate positions of the insertion order.
+		wantProbs []float64
+	}{
+		{
+			// §V-C: with l_s = max load, equal loads at the max collapse
+			// every probability to zero — the one case the modified CMF
+			// cannot save.
+			name: "modified all ranks at shared max", kind: CMFModified,
+			ave: 2, entries: []RankLoad{{0, 6}, {1, 6}, {2, 6}}, wantOK: false,
+		},
+		{
+			// §V-C: ranks above the average are exactly what the modified
+			// CMF exists for — l_s stretches to the max known load, and
+			// everyone below the max keeps positive mass.
+			name: "modified all ranks above average", kind: CMFModified,
+			ave: 2, entries: []RankLoad{{0, 6}, {1, 3}}, wantOK: true,
+			wantProbs: []float64{0, 1},
+		},
+		{
+			name: "modified everyone at the average", kind: CMFModified,
+			ave: 4, entries: []RankLoad{{0, 4}, {1, 4}}, wantOK: false,
+		},
+		{
+			name: "original all at or above average", kind: CMFOriginal,
+			ave: 4, entries: []RankLoad{{0, 4}, {1, 9}}, wantOK: false,
+		},
+		{
+			// l_s = ave = 0: mass is undefined, Rebuild must refuse.
+			name: "zero average zero loads", kind: CMFOriginal,
+			ave: 0, entries: []RankLoad{{0, 0}, {1, 0}}, wantOK: false,
+		},
+		{
+			name: "modified zero average zero loads", kind: CMFModified,
+			ave: 0, entries: []RankLoad{{0, 0}, {1, 0}}, wantOK: false,
+		},
+		{
+			name: "single idle candidate", kind: CMFOriginal,
+			ave: 4, entries: []RankLoad{{0, 0}}, wantOK: true,
+			wantProbs: []float64{1},
+		},
+		{
+			name: "empty knowledge", kind: CMFModified,
+			ave: 4, entries: nil, wantOK: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := NewKnowledge(10)
+			for _, e := range tc.entries {
+				k.Add(e.Rank, e.Load)
+			}
+			cmf, ok := BuildCMF(k, 9, tc.ave, tc.kind)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if !ok {
+				if cmf.Len() != 0 {
+					t.Errorf("failed build left %d candidates", cmf.Len())
+				}
+				return
+			}
+			if cmf.Len() != len(tc.wantProbs) {
+				t.Fatalf("Len = %d, want %d", cmf.Len(), len(tc.wantProbs))
+			}
+			for i, want := range tc.wantProbs {
+				if got := cmf.Prob(i); math.Abs(got-want) > 1e-12 {
+					t.Errorf("Prob(%d) = %g, want %g", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCMFRebuildRecoversAfterFailure exercises the in-place Rebuild used
+// by the RecomputeCMF transfer loop: a failed rebuild empties the
+// receiver, and a subsequent successful one restores it.
+func TestCMFRebuildRecoversAfterFailure(t *testing.T) {
+	good := knowledgeFrom(t, RankLoad{0, 0}, RankLoad{1, 2})
+	bad := knowledgeFrom(t, RankLoad{0, 4}, RankLoad{1, 5})
+	var c CMF
+	if !c.Rebuild(good, 9, 4, CMFOriginal) {
+		t.Fatal("initial rebuild failed")
+	}
+	if c.Rebuild(bad, 9, 4, CMFOriginal) {
+		t.Fatal("rebuild over zero-mass knowledge succeeded")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed rebuild kept %d stale candidates", c.Len())
+	}
+	if !c.Rebuild(good, 9, 4, CMFOriginal) {
+		t.Fatal("rebuild after failure failed")
+	}
+	if c.Len() != 2 || c.Rank(0) != 0 || c.Rank(1) != 1 {
+		t.Errorf("recovered CMF wrong: len %d", c.Len())
+	}
+}
+
+// TestCMFSampleSkipsTrailingZeroMass pins the binary-search boundary: a
+// zero-mass bucket in the final position shares its cumulative value with
+// its predecessor and must never be selected.
+func TestCMFSampleSkipsTrailingZeroMass(t *testing.T) {
+	// ls = 6: masses 2/3 for rank 0, exactly 0 for the trailing rank 1.
+	k := knowledgeFrom(t, RankLoad{0, 2}, RankLoad{1, 6})
+	cmf, ok := BuildCMF(k, 9, 2, CMFModified)
+	if !ok {
+		t.Fatal("BuildCMF failed")
+	}
+	if got := cmf.Prob(1); got != 0 {
+		t.Fatalf("trailing prob = %g, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		if got := cmf.Sample(rng); got != 0 {
+			t.Fatalf("sampled trailing zero-mass rank %d", got)
+		}
+	}
+}
+
+// TestKnowledgeCanonicalizeOrderIndependent checks that canonicalized
+// knowledge produces the same CMF regardless of insertion (i.e. message
+// arrival) order, and that sorting does not disturb contents.
+func TestKnowledgeCanonicalizeOrderIndependent(t *testing.T) {
+	entries := []RankLoad{{3, 1}, {0, 2}, {2, 0.5}, {1, 3}}
+	forward := NewKnowledge(6)
+	for _, e := range entries {
+		forward.Add(e.Rank, e.Load)
+	}
+	backward := NewKnowledge(6)
+	for i := len(entries) - 1; i >= 0; i-- {
+		backward.Add(entries[i].Rank, entries[i].Load)
+	}
+	forward.Canonicalize()
+	backward.Canonicalize()
+	fe, be := forward.Entries(), backward.Entries()
+	if len(fe) != len(entries) || len(be) != len(entries) {
+		t.Fatalf("entry counts: %d, %d, want %d", len(fe), len(be), len(entries))
+	}
+	for i := range fe {
+		if fe[i] != be[i] {
+			t.Errorf("entry %d differs after canonicalize: %+v vs %+v", i, fe[i], be[i])
+		}
+		if i > 0 && fe[i].Rank <= fe[i-1].Rank {
+			t.Errorf("entries not sorted by rank at %d", i)
+		}
+		if forward.Load(fe[i].Rank) != fe[i].Load {
+			t.Errorf("load map disturbed for rank %d", fe[i].Rank)
+		}
+	}
+	a, okA := BuildCMF(forward, 5, 2, CMFModified)
+	b, okB := BuildCMF(backward, 5, 2, CMFModified)
+	if !okA || !okB {
+		t.Fatal("BuildCMF failed")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Rank(i) != b.Rank(i) || a.Prob(i) != b.Prob(i) {
+			t.Errorf("CMFs differ at %d after canonicalize", i)
+		}
+	}
+}
+
 func TestCMFSampleAlwaysKnownRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 100; trial++ {

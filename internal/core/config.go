@@ -197,6 +197,17 @@ type Config struct {
 	// are sampled uniformly from the sender's knowledge.
 	MaxGossipEntries int
 
+	// GossipDrop, in [0,1), makes the synchronous engine's simulated
+	// transport lossy: each gossip message is discarded with this
+	// probability before delivery, drawn from a dedicated seeded stream.
+	// It is the engine-side mirror of the distributed runtime's fault
+	// injection — gossip is the one protocol the engine simulates
+	// asynchronously, and knowledge loss is exactly how transport loss
+	// manifests there (transfers and collectives have no engine
+	// counterpart to drop). Zero, the default, leaves the delivery loop
+	// untouched and results bit-identical to earlier versions.
+	GossipDrop float64
+
 	// CommBias, in [0,1), activates the communication-aware extension
 	// (§VII future work) when a CommGraph is supplied to
 	// Engine.RunWithComm: recipient selection blends the load-deficit
@@ -264,6 +275,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: comm bias must be in [0,1), got %g", c.CommBias)
 	case c.MaxGossipEntries < 0:
 		return fmt.Errorf("core: max gossip entries must be >= 0, got %d", c.MaxGossipEntries)
+	case c.GossipDrop < 0 || c.GossipDrop >= 1:
+		return fmt.Errorf("core: gossip drop must be in [0,1), got %g", c.GossipDrop)
 	}
 	return nil
 }

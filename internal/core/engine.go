@@ -20,6 +20,10 @@ type IterationStats struct {
 	GossipMessages int
 	GossipEntries  int
 
+	// GossipDropped counts gossip messages lost to Config.GossipDrop
+	// before delivery (always zero when the knob is off).
+	GossipDropped int
+
 	// KnowledgeAvg and KnowledgeMin summarize how much of the
 	// underloaded set the gossip stage spread: the mean and minimum
 	// |S^p| over the ranks that were overloaded when the transfer stage
@@ -123,6 +127,7 @@ type engineScratch struct {
 	states      []*InformState
 	transferRNG []*rand.Rand
 	orderRNG    *rand.Rand
+	dropRNG     *rand.Rand // gossip-loss dice, used only when cfg.GossipDrop > 0
 	work        *Assignment // working distribution, reset per trial
 	queue       []Send      // gossip delivery queue, truncated per iteration
 	order       []int       // rank traversal permutation
@@ -146,6 +151,7 @@ func (sc *engineScratch) prepare(numRanks int, cfg *Config) {
 		sc.transferRNG[r] = newRNG(0)
 	}
 	sc.orderRNG = newRNG(0)
+	sc.dropRNG = newRNG(0)
 	sc.order = make([]int, numRanks)
 	sc.work = nil
 }
@@ -213,6 +219,9 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			reseed(sc.transferRNG[r], e.cfg.Seed, int64(trial), int64(r), 0x7af)
 		}
 		reseed(sc.orderRNG, e.cfg.Seed, int64(trial), 0x0deb)
+		if e.cfg.GossipDrop > 0 {
+			reseed(sc.dropRNG, e.cfg.Seed, int64(trial), 0xd209)
+		}
 
 		for iter := 1; iter <= e.cfg.Iterations; iter++ {
 			st := IterationStats{Trial: trial, Iteration: iter}
@@ -290,8 +299,17 @@ func (e *Engine) gossip(work *Assignment, ave float64, st *IterationStats) {
 	for r := range states {
 		queue = append(queue, states[r].Begin(ave, work.RankLoad(Rank(r)))...)
 	}
+	drop := e.cfg.GossipDrop
 	for head := 0; head < len(queue); head++ {
 		s := queue[head]
+		if drop > 0 && e.sc.dropRNG.Float64() < drop {
+			// Lost in transit: the payload never reaches its target, so no
+			// merge and no forwarding cascade. The knowledge the receiver
+			// would have gained simply stays unknown — exactly the engine-
+			// level analogue of a dropped transport message.
+			st.GossipDropped++
+			continue
+		}
 		st.GossipMessages++
 		st.GossipEntries += len(s.Msg.Entries)
 		more, _ := states[s.To].Receive(s.Msg)

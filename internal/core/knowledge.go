@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // RankLoad is one entry of the gossip payload: an underloaded rank and
 // its load as known to the sender.
 type RankLoad struct {
@@ -104,6 +106,20 @@ func (k *Knowledge) MaxLoad() float64 {
 		}
 	}
 	return max
+}
+
+// Canonicalize sorts the entries by rank, making the CMF built over them
+// — and hence transfer-candidate sampling — independent of the order in
+// which gossip messages happened to arrive. Asynchronous transports
+// reorder deliveries (and fault injection reorders them aggressively), so
+// the distributed balancer canonicalizes at the gossip/transfer stage
+// boundary; the synchronous engine keeps raw insertion order, preserving
+// its historical byte-identical outputs. Sorting reorders the backing
+// array of previously taken Entries snapshots, so it must only be called
+// at a quiescent point where no snapshot is in flight — the start of a
+// transfer stage, after the gossip epoch has terminated, qualifies.
+func (k *Knowledge) Canonicalize() {
+	sort.Slice(k.entries, func(i, j int) bool { return k.entries[i].Rank < k.entries[j].Rank })
 }
 
 // Reset empties the knowledge for reuse in a new iteration. The entry

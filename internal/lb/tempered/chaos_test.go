@@ -1,0 +1,177 @@
+package tempered
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"temperedlb/internal/amt"
+	"temperedlb/internal/comm"
+	"temperedlb/internal/core"
+)
+
+// runChaosCase stands up a runtime with an optional fault spec, seeds a
+// deterministic clustered workload (dyadic loads, so floating-point sums
+// are exact in any order), runs the distributed balancer, and returns the
+// per-rank results, fault statistics, and final object census.
+func runChaosCase(t *testing.T, nRanks, hot, objsPerHot int, cfg core.Config, sp *comm.FaultSpec) ([]DistResult, amt.FaultStats, int) {
+	t.Helper()
+	rt := amt.New(nRanks)
+	if sp != nil {
+		if err := rt.SetFaults(*sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := RegisterHandlers(rt, 100)
+	results := make([]DistResult, nRanks)
+	census := make([]int, nRanks)
+	var mu sync.Mutex
+
+	rt.Run(func(rc *amt.Context) {
+		loads := make(map[amt.ObjectID]float64)
+		if int(rc.Rank()) < hot {
+			for i := 0; i < objsPerHot; i++ {
+				// Multiples of 1/8: any summation order is exact, so the
+				// faulted and fault-free runs cannot diverge by rounding.
+				l := float64((int(rc.Rank())*objsPerHot+i)%8+1) / 8
+				id := rc.CreateObject(&colorState{Load: l})
+				loads[id] = l
+			}
+		}
+		rc.Barrier()
+		res, err := RunDistributed(rc, h, cfg, loads)
+		if err != nil {
+			t.Errorf("rank %d: %v", rc.Rank(), err)
+			return
+		}
+		results[rc.Rank()] = res
+		rc.Barrier()
+		mu.Lock()
+		census[rc.Rank()] = len(rc.LocalObjects())
+		mu.Unlock()
+	})
+
+	total := 0
+	for _, c := range census {
+		total += c
+	}
+	return results, rt.FaultStats(), total
+}
+
+// stripTiming zeroes the wall-clock fields of a result so runs can be
+// compared for protocol-level equality.
+func stripTiming(r DistResult) DistResult {
+	r.ElapsedSeconds = 0
+	r.History = append([]core.IterationStats(nil), r.History...)
+	for i := range r.History {
+		r.History[i].ElapsedSeconds = 0
+	}
+	return r
+}
+
+// TestDistributedChaosLossy runs the full TemperedLB protocol over a
+// transport that drops, duplicates and delays the balancer's own
+// messages: the run must terminate, conserve every object, agree across
+// ranks, and still improve the imbalance.
+func TestDistributedChaosLossy(t *testing.T) {
+	sp := &comm.FaultSpec{
+		Seed: 1, Drop: 0.05, Dup: 0.05,
+		DelayMax:  2 * time.Millisecond,
+		RetryBase: time.Millisecond,
+	}
+	results, st, census := runChaosCase(t, 12, 2, 40, distConfig(), sp)
+	if census != 80 {
+		t.Errorf("object census %d, want 80 (objects lost or duplicated under faults)", census)
+	}
+	res := results[0]
+	if res.InitialImbalance < 3 {
+		t.Fatalf("initial I only %g", res.InitialImbalance)
+	}
+	if res.FinalImbalance >= res.InitialImbalance/3 {
+		t.Errorf("weak improvement under faults: %g -> %g",
+			res.InitialImbalance, res.FinalImbalance)
+	}
+	for r := 1; r < len(results); r++ {
+		if results[r].FinalImbalance != res.FinalImbalance ||
+			results[r].BestTrial != res.BestTrial ||
+			results[r].BestIteration != res.BestIteration {
+			t.Errorf("rank %d disagrees under faults: %+v vs %+v", r, results[r], res)
+		}
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Errorf("fault plan injected nothing: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Errorf("drops were not recovered by retries: %+v", st)
+	}
+}
+
+// TestDistributedChaosMatchesFaultFree pins the determinism contract:
+// with single-round gossip (no arrival-order-dependent forwarding) and
+// canonicalized knowledge, a faulted run must produce the exact same
+// balancing decisions as the fault-free run — drop, duplication and delay
+// may only cost wall-clock time, never change the outcome.
+func TestDistributedChaosMatchesFaultFree(t *testing.T) {
+	cfg := distConfig()
+	cfg.Rounds = 1
+	clean, _, cleanCensus := runChaosCase(t, 10, 2, 32, cfg, nil)
+	sp := &comm.FaultSpec{
+		Seed: 7, Drop: 0.1, Dup: 0.1,
+		DelayMax:  time.Millisecond,
+		RetryBase: time.Millisecond,
+	}
+	faulted, st, faultedCensus := runChaosCase(t, 10, 2, 32, cfg, sp)
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Retries == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", st)
+	}
+	if cleanCensus != faultedCensus {
+		t.Errorf("census differs: clean %d, faulted %d", cleanCensus, faultedCensus)
+	}
+	for r := range clean {
+		c, f := stripTiming(clean[r]), stripTiming(faulted[r])
+		if !reflect.DeepEqual(c, f) {
+			t.Errorf("rank %d diverged under faults:\nclean:   %+v\nfaulted: %+v", r, c, f)
+		}
+	}
+}
+
+// TestDistributedChaosEmptyPlanIdentity pins the zero-cost-when-off
+// contract end to end: installing an empty fault spec changes nothing
+// about a distributed run's decisions.
+func TestDistributedChaosEmptyPlanIdentity(t *testing.T) {
+	cfg := distConfig()
+	cfg.Rounds = 1
+	plain, _, _ := runChaosCase(t, 8, 2, 24, cfg, nil)
+	empty, st, _ := runChaosCase(t, 8, 2, 24, cfg, &comm.FaultSpec{})
+	if st != (amt.FaultStats{}) {
+		t.Fatalf("empty spec produced fault activity: %+v", st)
+	}
+	for r := range plain {
+		if !reflect.DeepEqual(stripTiming(plain[r]), stripTiming(empty[r])) {
+			t.Errorf("rank %d: empty fault spec changed the outcome", r)
+		}
+	}
+}
+
+// TestDistributedChaosStraggler slows one rank's traffic on top of drops:
+// the protocol must still converge and agree.
+func TestDistributedChaosStraggler(t *testing.T) {
+	sp := &comm.FaultSpec{
+		Seed: 3, Drop: 0.05,
+		SlowRanks: map[int]time.Duration{1: 2 * time.Millisecond},
+		RetryBase: time.Millisecond,
+	}
+	results, st, census := runChaosCase(t, 8, 1, 32, distConfig(), sp)
+	if census != 32 {
+		t.Errorf("census %d, want 32", census)
+	}
+	if st.Dropped == 0 {
+		t.Errorf("no drops injected: %+v", st)
+	}
+	for r := 1; r < len(results); r++ {
+		if results[r].FinalImbalance != results[0].FinalImbalance {
+			t.Errorf("rank %d disagrees with straggler present", r)
+		}
+	}
+}

@@ -219,9 +219,15 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 					return
 				}
 				overloaded = 1
-				knowledge = float64(st.inform.Knowledge().Len())
+				// The gossip epoch has terminated, so no Entries snapshot is
+				// in flight: sort the knowledge so candidate sampling does
+				// not depend on message arrival order (or on the reordering
+				// a fault plan injects).
+				kn := st.inform.Knowledge()
+				kn.Canonicalize()
+				knowledge = float64(kn.Len())
 				tasks, ids := st.virtualTasks()
-				props, tstats, _ := core.RunTransferScratch(self, tasks, load, ave, st.inform.Knowledge(), &cfg, xferRNG, nil, &st.xfer)
+				props, tstats, _ := core.RunTransferScratch(self, tasks, load, ave, kn, &cfg, xferRNG, nil, &st.xfer)
 				ts = tstats
 				for _, p := range props {
 					obj := ids[p.Task]

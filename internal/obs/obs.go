@@ -61,8 +61,16 @@ const (
 	// event carries the final imbalance in Value.
 	EvLBBegin
 	EvLBEnd
+	// EvRetry is one retransmission of an unacknowledged epoch message
+	// by the runtime's reliability layer; Peer is the destination rank,
+	// Value the attempt number (2 = first retransmission).
+	EvRetry
+	// EvDupDrop is the receiver-side discard of an already-delivered
+	// epoch message (a transport duplicate or a redundant
+	// retransmission); Peer is the sending rank.
+	EvDupDrop
 
-	numEventTypes = int(EvLBEnd) + 1
+	numEventTypes = int(EvDupDrop) + 1
 )
 
 var eventNames = [numEventTypes]string{
@@ -84,6 +92,8 @@ var eventNames = [numEventTypes]string{
 	EvIterEnd:             "lb.iteration",
 	EvLBBegin:             "lb.run",
 	EvLBEnd:               "lb.run",
+	EvRetry:               "retry",
+	EvDupDrop:             "dup.drop",
 }
 
 // String returns the stable name used in exports.

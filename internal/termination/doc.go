@@ -5,6 +5,14 @@
 // "all causally related gossip messages have been received and
 // processed" (§IV-B).
 //
+// The detector supports two accounting modes. The classic one pairs
+// OnSend with OnReceive (counter per message in flight). Under a lossy
+// transport the runtime instead pairs OnSend with OnAck — the counter
+// tracks unacknowledged sends, and OnDeliver merely blackens the
+// receiver — so the ring only whitens once every counted message has
+// been delivered and acknowledged exactly once, no matter how many
+// transport-level drops, duplicates or retransmissions occurred.
+//
 // # Concurrency
 //
 // Each rank holds its own Detector, driven exclusively by that rank's

@@ -75,6 +75,27 @@ func (d *Detector) OnReceive() {
 	d.color = Black
 }
 
+// OnDeliver records processing of a basic message under the ack-based
+// (sender-credit) accounting variant: the receiving rank blackens but
+// does not touch its counter — the matching decrement happens on the
+// SENDER when the acknowledgment comes back (OnAck). With this pairing
+// each counter equals the rank's number of unacknowledged sends, so
+// counters never go negative and the wave rule (all white, summed count
+// zero) detects quiescence even when the transport drops or duplicates
+// messages, provided the runtime deduplicates deliveries and
+// retransmits unacknowledged sends.
+func (d *Detector) OnDeliver() { d.color = Black }
+
+// OnAck records the first acknowledgment of one of this rank's basic
+// sends under the ack-based accounting variant: the credit issued by
+// OnSend is retired and the rank blackens (its counter changed since
+// the token last passed). Duplicate acknowledgments must not be
+// reported.
+func (d *Detector) OnAck() {
+	d.counter--
+	d.color = Black
+}
+
 // OnToken records arrival of the probe token.
 func (d *Detector) OnToken(t Token) {
 	if d.hasToken {
@@ -144,5 +165,9 @@ func (d *Detector) Reset() {
 	d.hasToken = d.rank == 0
 	if d.rank == 0 {
 		d.token = Token{Color: White, Wave: 1}
+	} else {
+		// Drop the previous epoch's token so Wave() reports 0 until the
+		// new epoch's first probe arrives, as documented.
+		d.token = Token{}
 	}
 }

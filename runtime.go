@@ -2,6 +2,7 @@ package temperedlb
 
 import (
 	"temperedlb/internal/amt"
+	"temperedlb/internal/comm"
 	"temperedlb/internal/lb/tempered"
 )
 
@@ -34,6 +35,13 @@ type (
 	LBHandlers = tempered.Handlers
 	// DistributedResult reports a distributed LB invocation.
 	DistributedResult = tempered.DistResult
+	// FaultSpec describes deterministic transport fault injection — drop
+	// and duplication probabilities, delay windows, per-rank stragglers —
+	// installed with Runtime.SetFaults before Run.
+	FaultSpec = comm.FaultSpec
+	// FaultStats reports a fault plan's injections and the runtime's
+	// recovery work; read with Runtime.FaultStats.
+	FaultStats = amt.FaultStats
 )
 
 // Reduction operators.
@@ -48,6 +56,11 @@ const (
 // WithTracer for protocol event tracing, WithMetrics for the counter/
 // histogram registry.
 func NewRuntime(n int, opts ...RuntimeOption) *Runtime { return amt.New(n, opts...) }
+
+// ParseFaultSpec parses a comma-separated fault directive such as
+// "seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms" into a FaultSpec.
+// See internal/comm.ParseFaultSpec for the full key set.
+func ParseFaultSpec(s string) (FaultSpec, error) { return comm.ParseFaultSpec(s) }
 
 // NewLoadModel creates a persistence-based load predictor with
 // smoothing factor alpha in (0,1]; alpha = 1 is pure persistence.

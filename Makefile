@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-json bench-compare
+.PHONY: build test vet race chaos storm check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,21 @@ race:
 # The fault-injection suite under the race detector: seeded drop/dup/
 # delay/straggler plans against the transport, the ack/retry layer, and
 # the distributed balancer end-to-end (including the faulted-equals-
-# fault-free determinism check).
+# fault-free and delay-window bit-determinism checks, and the
+# 1024-rank collective storm).
 chaos:
-	$(GO) test -race -run 'Chaos|Fault|GossipDrop' ./...
+	$(GO) test -race -run 'Chaos|Fault|GossipDrop|Determinism' ./...
+
+# Just the paper-scale collective stress: 1024 ranks storm the k-ary
+# reduction tree (barriers, vector reduces, a scalar max) interleaved
+# with epoch traffic under a 10% drop/dup plan with delayed delivery,
+# race detector on.
+storm:
+	$(GO) test -race -count=1 -run 'TestChaosTreeCollectiveStorm1024$$' ./internal/amt/
 
 # The CI gate: static analysis, the race-enabled suite, the chaos
-# suite, and the benchmark regression diff against the committed
-# trajectory.
+# suite (which includes the storm), and the benchmark regression diff
+# against the committed trajectory.
 check: vet race chaos bench-compare
 
 bench:

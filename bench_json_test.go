@@ -142,6 +142,29 @@ func benchJSONSuite() []struct {
 				})
 			}
 		}},
+		{"distributed_lb_1024ranks_tree", func(b *testing.B) {
+			// Paper-scale collective path: the cost here is dominated by
+			// the k-ary tree sweeps and termination detection, which is
+			// exactly the trajectory the tree refactor must hold.
+			for i := 0; i < b.N; i++ {
+				rt := temperedlb.NewRuntime(1024)
+				h := temperedlb.RegisterLBHandlers(rt, 1)
+				rt.Run(func(rc *temperedlb.RankContext) {
+					loads := map[temperedlb.ObjectID]float64{}
+					if rc.Rank() < 2 {
+						for j := 0; j < 64; j++ {
+							loads[rc.CreateObject(j)] = 0.5 + float64(j%7)/7
+						}
+					}
+					rc.Barrier()
+					cfg := temperedlb.Tempered()
+					cfg.Trials, cfg.Iterations, cfg.Rounds = 1, 2, 2
+					if _, err := temperedlb.RunDistributedLB(rc, h, cfg, loads); err != nil {
+						b.Error(err)
+					}
+				})
+			}
+		}},
 		{"orderings_fewest_migrations_10k", func(b *testing.B) {
 			tasks := make([]core.Task, 10_000)
 			total := 0.0

@@ -526,9 +526,9 @@ func BenchmarkEngineScaling(b *testing.B) {
 
 // BenchmarkDistributedScaling measures a full distributed LB invocation
 // on the real runtime (goroutine ranks, live termination detection) as
-// the rank count grows.
+// the rank count grows, up to the paper's §V-B scale of 4096 ranks.
 func BenchmarkDistributedScaling(b *testing.B) {
-	for _, n := range []int{8, 32, 128} {
+	for _, n := range []int{8, 32, 128, 512, 1024, 4096} {
 		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rt := temperedlb.NewRuntime(n)

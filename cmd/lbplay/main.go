@@ -30,6 +30,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in Perfetto); tempered or -distributed runs")
 		metricsOut = flag.String("metrics", "", "write runtime metrics in Prometheus text format to this file (-distributed only)")
 		faults     = flag.String("faults", "", "inject transport faults, e.g. \"seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms\" (-distributed only)")
+		fanout     = flag.Int("fanout", 4, "arity of the runtime's collective reduction tree (-distributed only)")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(a, *seed, *traceOut, *metricsOut, *faults)
+		runDistributed(a, *seed, *traceOut, *metricsOut, *faults, *fanout)
 		return
 	}
 	if *metricsOut != "" {
@@ -147,9 +148,9 @@ func writeExport(path string, write func(io.Writer) error) {
 // runDistributed scatters equivalent synthetic objects over a real AMT
 // runtime and executes the distributed protocol, optionally with the
 // observability stack attached.
-func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string) {
+func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string, fanout int) {
 	n := a.NumRanks()
-	var opts []temperedlb.RuntimeOption
+	opts := []temperedlb.RuntimeOption{temperedlb.WithFanout(fanout)}
 	var rec *temperedlb.TraceRecorder
 	if tracePath != "" {
 		rec = temperedlb.NewTraceRecorder()
@@ -199,6 +200,7 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 		res.InitialImbalance, res.FinalImbalance, res.BestTrial, res.BestIteration)
 	fmt.Printf("migrations      %d objects actually moved\n", migs)
 	fmt.Printf("transport       %d messages total (gossip, transfers, termination, commit)\n", rt.TotalMessages())
+	fmt.Printf("collectives     %d-ary reduction tree\n", rt.Fanout())
 	fmt.Printf("protocol cost   %d gossip + %d transfer messages, %.3fs wall clock\n",
 		res.GossipMessages, res.TransferMessages, res.ElapsedSeconds)
 	if !faultSpec.Empty() {

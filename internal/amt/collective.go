@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"temperedlb/internal/comm"
-	"temperedlb/internal/core"
 	"temperedlb/internal/obs"
 )
 
@@ -35,9 +34,26 @@ func (op ReduceOp) combine(a, b float64) float64 {
 	}
 }
 
+// collMsg is the wire payload of both tree-collective phases: a child's
+// folded partial on its way up (kindCollUp) and the final result on its
+// way down (kindCollDown). Values is nil for barriers.
+type collMsg struct {
+	Seq    int64
+	Values []float64
+}
+
+// collState accumulates one collective's child contributions on their
+// parent. Contributions are keyed by fixed child position, not arrival
+// order, so the fold below is topology-deterministic.
+type collState struct {
+	kids [][]float64 // one slot per tree child, in ascending rank order
+	got  int
+}
+
 // collStart opens a collective's instrumentation window; the returned
-// closer emits the EvCollective span and bumps the counter. Both calls
-// are single nil-checks when observability is off.
+// closer emits the EvCollective span (stamped with the tree geometry and
+// the messages this rank sent for the collective) and bumps the
+// counters. Both calls are single nil-checks when observability is off.
 func (rc *Context) collStart(name string) func() {
 	if rc.tr == nil && rc.ins == nil {
 		return func() {}
@@ -46,268 +62,185 @@ func (rc *Context) collStart(name string) func() {
 	return func() {
 		if rc.tr != nil {
 			rc.Emit(obs.Event{Type: obs.EvCollective, Peer: -1, Object: -1,
-				Name: name, Dur: time.Since(start)})
+				Name: name, Value: float64(rc.collMsgs),
+				Fanout: rc.rt.fanout, Depth: rc.treeDepth,
+				Dur: time.Since(start)})
 		}
 		if rc.ins != nil {
 			rc.ins.collectives.Inc()
+			rc.ins.collMsgs.Add(int64(rc.collMsgs))
 		}
 	}
 }
 
-type barrierArrive struct{ Seq int64 }
-
-type reduceArrive struct {
-	Seq   int64
-	Value float64
-	Op    ReduceOp
-}
-
-type reduceResult struct {
-	Seq   int64
-	Value float64
-}
-
-// Barrier blocks until every rank has reached the same barrier call.
-// Collectives must be called by all ranks in the same order; they are
-// coordinated by rank 0. While waiting, the rank keeps scheduling
-// incoming messages, so application traffic cannot deadlock a barrier.
-func (rc *Context) Barrier() {
-	defer rc.collStart("barrier")()
+// treeCollective is the one engine under every collective: a reduce up
+// the runtime's k-ary rank tree followed by a broadcast back down.
+//
+// Up phase: the rank waits for a partial vector from each of its tree
+// children, folds them into its own contribution in fixed order — local
+// value first, then children in ascending rank order — and forwards the
+// partial to its parent. Because the combine order is a function of the
+// topology alone (never of message arrival order), floating-point
+// reductions are bit-identical across runs, under jitter, delays and
+// stragglers included. Down phase: the root's fold is the result; every
+// rank forwards a private copy to each child (see dispatch), so the
+// returned slice is exclusively the caller's.
+//
+// ops selects a per-element combine (len(ops) == len(in)); a nil ops
+// applies op to every element. Per-rank traffic is at most fanout+1
+// sends (and as many receives) instead of the star topology's 2(P−1)
+// messages through rank 0, and the critical path is one up+down sweep
+// of depth ceil(log_k P).
+//
+// While waiting, the rank keeps scheduling incoming messages, so
+// application traffic cannot deadlock a collective. As before, all ranks
+// must call collectives in matching order.
+func (rc *Context) treeCollective(name string, in []float64, op ReduceOp, ops []ReduceOp) []float64 {
+	defer rc.collStart(name)()
 	rc.collSeq++
 	seq := rc.collSeq
-	if rc.rank == 0 {
-		rc.onBarrierArrive(comm.Message{From: 0, Data: barrierArrive{Seq: seq}})
-	} else {
-		rc.rt.nw.Send(comm.Message{
-			From: int(rc.rank), To: 0, Kind: kindBarrier,
-			Data: barrierArrive{Seq: seq},
-		})
-	}
-	for !rc.barReleased[seq] {
-		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
-		if !ok {
-			panic("amt: network closed inside barrier")
+
+	acc := append([]float64(nil), in...)
+	if rc.nKids > 0 {
+		for st := rc.collUp[seq]; st == nil || st.got < rc.nKids; st = rc.collUp[seq] {
+			m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+			if !ok {
+				panic("amt: network closed inside " + name)
+			}
+			rc.dispatch(m)
 		}
-		rc.dispatch(m)
+		st := rc.collUp[seq]
+		delete(rc.collUp, seq)
+		for _, kid := range st.kids {
+			if len(kid) != len(acc) {
+				panic(fmt.Sprintf("amt: %s length mismatch: %d vs %d",
+					name, len(kid), len(acc)))
+			}
+			if ops != nil {
+				for j, v := range kid {
+					acc[j] = ops[j].combine(acc[j], v)
+				}
+			} else {
+				for j, v := range kid {
+					acc[j] = op.combine(acc[j], v)
+				}
+			}
+		}
 	}
-	delete(rc.barReleased, seq)
+
+	if rc.parent >= 0 {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: rc.parent, Kind: kindCollUp,
+			Data: collMsg{Seq: seq, Values: acc},
+		})
+		for !rc.collHasResult[seq] {
+			m, ok := rc.rt.nw.RecvWait(int(rc.rank))
+			if !ok {
+				panic("amt: network closed inside " + name)
+			}
+			rc.dispatch(m)
+		}
+		acc = rc.collResult[seq]
+		delete(rc.collResult, seq)
+		delete(rc.collHasResult, seq)
+		return acc
+	}
+	// Root: the local fold is the global result; start the down phase.
+	rc.sendDown(seq, acc)
+	return acc
 }
 
-func (rc *Context) onBarrierArrive(m comm.Message) {
-	ba := m.Data.(barrierArrive)
-	rc.barArrivals[ba.Seq]++
-	if rc.barArrivals[ba.Seq] == rc.n {
-		delete(rc.barArrivals, ba.Seq)
-		rc.barReleased[ba.Seq] = true // local release for rank 0
-		for r := 1; r < rc.n; r++ {
-			rc.rt.nw.Send(comm.Message{
-				From: 0, To: r, Kind: kindRelease, Data: ba.Seq,
-			})
+// sendDown forwards a private copy of the result to each tree child.
+func (rc *Context) sendDown(seq int64, result []float64) {
+	for c := rc.childBase; c < rc.childBase+rc.nKids; c++ {
+		var out []float64
+		if result != nil {
+			out = append([]float64(nil), result...)
 		}
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: c, Kind: kindCollDown,
+			Data: collMsg{Seq: seq, Values: out},
+		})
 	}
+}
+
+// onCollUp stores one child's partial for the keyed collective. Children
+// may race ahead of this rank's own entry into the collective (or even
+// into the next one); contributions are therefore buffered by sequence
+// and folded only once this rank reaches the matching call.
+func (rc *Context) onCollUp(m comm.Message) {
+	cm := m.Data.(collMsg)
+	st := rc.collUp[cm.Seq]
+	if st == nil {
+		st = &collState{kids: make([][]float64, rc.nKids)}
+		rc.collUp[cm.Seq] = st
+	}
+	st.kids[m.From-rc.childBase] = cm.Values
+	st.got++
+}
+
+// onCollDown installs the result of the keyed collective and forwards a
+// copy toward this rank's own subtree. A down message can only arrive
+// after this rank sent its partial up, i.e. while it is blocked inside
+// the matching collective call, so the result is consumed immediately.
+func (rc *Context) onCollDown(m comm.Message) {
+	cm := m.Data.(collMsg)
+	rc.sendDown(cm.Seq, cm.Values)
+	if cm.Values == nil {
+		cm.Values = emptyResult
+	}
+	rc.collResult[cm.Seq] = cm.Values
+	rc.collHasResult[cm.Seq] = true
+}
+
+// emptyResult stands in for a barrier's nil result vector so the zero
+// length survives the result map without extra bookkeeping.
+var emptyResult = []float64{}
+
+// Barrier blocks until every rank has reached the same barrier call: a
+// zero-length reduction, so release still takes one full up+down sweep.
+func (rc *Context) Barrier() {
+	rc.treeCollective("barrier", nil, ReduceSum, nil)
 }
 
 // AllReduce combines value across all ranks with op and returns the
 // result on every rank. This is the constant-size statistics all-reduce
 // that precedes every LB invocation (§IV-B).
 func (rc *Context) AllReduce(value float64, op ReduceOp) float64 {
-	defer rc.collStart("allreduce")()
-	rc.collSeq++
-	seq := rc.collSeq
-	if rc.rank == 0 {
-		rc.onReduceArrive(comm.Message{From: 0, Data: reduceArrive{Seq: seq, Value: value, Op: op}})
-	} else {
-		rc.rt.nw.Send(comm.Message{
-			From: int(rc.rank), To: 0, Kind: kindReduce,
-			Data: reduceArrive{Seq: seq, Value: value, Op: op},
-		})
-	}
-	for !rc.redHasResult[seq] {
-		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
-		if !ok {
-			panic("amt: network closed inside allreduce")
-		}
-		rc.dispatch(m)
-	}
-	v := rc.redResult[seq]
-	delete(rc.redResult, seq)
-	delete(rc.redHasResult, seq)
-	return v
+	rc.smallBuf[0] = value
+	return rc.treeCollective("allreduce", rc.smallBuf[:1], op, nil)[0]
 }
 
-func (rc *Context) onReduceArrive(m comm.Message) {
-	ra := m.Data.(reduceArrive)
-	st, ok := rc.redState[ra.Seq]
-	if !ok {
-		st = &reduce{acc: ra.Value, op: ra.Op, count: 1}
-		rc.redState[ra.Seq] = st
-	} else {
-		st.acc = st.op.combine(st.acc, ra.Value)
-		st.count++
-	}
-	if st.count == rc.n {
-		delete(rc.redState, ra.Seq)
-		rc.redResult[ra.Seq] = st.acc // local result for rank 0
-		rc.redHasResult[ra.Seq] = true
-		for r := 1; r < rc.n; r++ {
-			rc.rt.nw.Send(comm.Message{
-				From: 0, To: r, Kind: kindReduceResult,
-				Data: reduceResult{Seq: ra.Seq, Value: st.acc},
-			})
-		}
-	}
-}
+// summaryOps is AllReduceSummary's per-element combine: one vector round
+// carrying [max, min, sum] instead of three sequential scalar rounds.
+var summaryOps = []ReduceOp{ReduceMax, ReduceMin, ReduceSum}
 
-// AllReduceSummary composes the three reductions of the gossip
-// prologue: per-rank load max, min and sum, returning them to all ranks.
+// AllReduceSummary fuses the three reductions of the gossip prologue —
+// per-rank load max, min and sum — into a single mixed-op vector
+// collective, returning all three to every rank in one round.
 func (rc *Context) AllReduceSummary(load float64) (max, min, sum float64) {
-	max = rc.AllReduce(load, ReduceMax)
-	min = rc.AllReduce(load, ReduceMin)
-	sum = rc.AllReduce(load, ReduceSum)
-	return max, min, sum
-}
-
-type gatherArrive struct {
-	Seq   int64
-	Rank  core.Rank
-	Value float64
-}
-
-type gatherResult struct {
-	Seq    int64
-	Values []float64
+	rc.smallBuf[0], rc.smallBuf[1], rc.smallBuf[2] = load, load, load
+	out := rc.treeCollective("allreduce_summary", rc.smallBuf[:3], ReduceSum, summaryOps)
+	return out[0], out[1], out[2]
 }
 
 // AllGather collects one float64 from every rank and returns the full
-// vector, indexed by rank, on every rank. Like the other collectives it
-// must be called by all ranks in matching order.
+// vector, indexed by rank, on every rank. It rides the tree engine as a
+// one-hot sum — x + 0 is exact in floating point, so each slot arrives
+// untouched. Like the other collectives it must be called by all ranks
+// in matching order.
 func (rc *Context) AllGather(value float64) []float64 {
-	defer rc.collStart("allgather")()
-	rc.collSeq++
-	seq := rc.collSeq
-	if rc.rank == 0 {
-		rc.onGatherArrive(comm.Message{From: 0, Data: gatherArrive{Seq: seq, Rank: 0, Value: value}})
-	} else {
-		rc.rt.nw.Send(comm.Message{
-			From: int(rc.rank), To: 0, Kind: kindGather,
-			Data: gatherArrive{Seq: seq, Rank: rc.rank, Value: value},
-		})
-	}
-	for rc.gatherResult[seq] == nil {
-		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
-		if !ok {
-			panic("amt: network closed inside allgather")
-		}
-		rc.dispatch(m)
-	}
-	v := rc.gatherResult[seq]
-	delete(rc.gatherResult, seq)
-	return v
-}
-
-func (rc *Context) onGatherArrive(m comm.Message) {
-	ga := m.Data.(gatherArrive)
-	st := rc.gatherState[ga.Seq]
-	if st == nil {
-		st = &gather{values: make([]float64, rc.n), seen: make([]bool, rc.n)}
-		rc.gatherState[ga.Seq] = st
-	}
-	if !st.seen[ga.Rank] {
-		st.seen[ga.Rank] = true
-		st.values[ga.Rank] = ga.Value
-		st.count++
-	}
-	if st.count == rc.n {
-		delete(rc.gatherState, ga.Seq)
-		rc.gatherResult[ga.Seq] = st.values // local result for rank 0
-		for r := 1; r < rc.n; r++ {
-			out := append([]float64(nil), st.values...)
-			rc.rt.nw.Send(comm.Message{
-				From: 0, To: r, Kind: kindGatherResult,
-				Data: gatherResult{Seq: ga.Seq, Values: out},
-			})
-		}
-	}
-}
-
-type gather struct {
-	values []float64
-	seen   []bool
-	count  int
-}
-
-type vecArrive struct {
-	Seq    int64
-	Values []float64
-	Op     ReduceOp
-}
-
-type vecResult struct {
-	Seq    int64
-	Values []float64
-}
-
-type vecReduce struct {
-	count int
-	acc   []float64
-	op    ReduceOp
+	in := make([]float64, rc.n)
+	in[rc.rank] = value
+	return rc.treeCollective("allgather", in, ReduceSum, nil)
 }
 
 // AllReduceVec combines a fixed-width vector elementwise across all
 // ranks with op and returns the result on every rank — one collective
-// where a loop of AllReduce calls would cost a round-trip per element.
-// The distributed balancer uses it to aggregate its per-iteration
-// statistics in a single exchange. All ranks must pass the same length.
+// where a loop of AllReduce calls would cost a full tree sweep per
+// element. The distributed balancer uses it to aggregate its
+// per-iteration statistics in a single exchange. All ranks must pass the
+// same length; the input slice is neither retained nor mutated.
 func (rc *Context) AllReduceVec(values []float64, op ReduceOp) []float64 {
-	defer rc.collStart("allreduce_vec")()
-	rc.collSeq++
-	seq := rc.collSeq
-	in := append([]float64(nil), values...)
-	if rc.rank == 0 {
-		rc.onVecArrive(comm.Message{From: 0, Data: vecArrive{Seq: seq, Values: in, Op: op}})
-	} else {
-		rc.rt.nw.Send(comm.Message{
-			From: int(rc.rank), To: 0, Kind: kindReduceVec,
-			Data: vecArrive{Seq: seq, Values: in, Op: op},
-		})
-	}
-	for rc.vecResult[seq] == nil {
-		m, ok := rc.rt.nw.RecvWait(int(rc.rank))
-		if !ok {
-			panic("amt: network closed inside allreduce_vec")
-		}
-		rc.dispatch(m)
-	}
-	v := rc.vecResult[seq]
-	delete(rc.vecResult, seq)
-	return v
-}
-
-func (rc *Context) onVecArrive(m comm.Message) {
-	va := m.Data.(vecArrive)
-	st := rc.vecState[va.Seq]
-	if st == nil {
-		st = &vecReduce{acc: append([]float64(nil), va.Values...), op: va.Op, count: 1}
-		rc.vecState[va.Seq] = st
-	} else {
-		if len(va.Values) != len(st.acc) {
-			panic(fmt.Sprintf("amt: AllReduceVec length mismatch: %d vs %d",
-				len(va.Values), len(st.acc)))
-		}
-		for i, v := range va.Values {
-			st.acc[i] = st.op.combine(st.acc[i], v)
-		}
-		st.count++
-	}
-	if st.count == rc.n {
-		delete(rc.vecState, va.Seq)
-		rc.vecResult[va.Seq] = st.acc // local result for rank 0
-		for r := 1; r < rc.n; r++ {
-			out := append([]float64(nil), st.acc...)
-			rc.rt.nw.Send(comm.Message{
-				From: 0, To: r, Kind: kindReduceVecResult,
-				Data: vecResult{Seq: va.Seq, Values: out},
-			})
-		}
-	}
+	return rc.treeCollective("allreduce_vec", values, op, nil)
 }

@@ -10,7 +10,9 @@ import (
 	"temperedlb/internal/termination"
 )
 
-// Transport-level message kinds.
+// Transport-level message kinds. All collectives share one up kind and
+// one down kind: they differ only in payload width and combine op, both
+// of which live on the calling ranks, never on the wire.
 const (
 	kindUser comm.Kind = iota
 	kindObject
@@ -18,14 +20,8 @@ const (
 	kindLocUpdate
 	kindToken
 	kindDone
-	kindBarrier
-	kindRelease
-	kindReduce
-	kindReduceResult
-	kindGather
-	kindGatherResult
-	kindReduceVec
-	kindReduceVecResult
+	kindCollUp
+	kindCollDown
 	kindAck
 )
 
@@ -83,16 +79,27 @@ type Context struct {
 	// runtime's fault plan can drop or duplicate counted messages.
 	rel *reliableState
 
-	collSeq      int64
-	barArrivals  map[int64]int     // rank 0: arrivals per barrier seq
-	barReleased  map[int64]bool    // releases received
-	redState     map[int64]*reduce // rank 0: accumulation per reduce seq
-	redResult    map[int64]float64 // results received
-	redHasResult map[int64]bool
-	gatherState  map[int64]*gather    // rank 0: accumulation per gather seq
-	gatherResult map[int64][]float64  // results received
-	vecState     map[int64]*vecReduce // rank 0: accumulation per vector reduce seq
-	vecResult    map[int64][]float64  // results received
+	// Collective tree geometry, fixed at construction from the runtime's
+	// fanout k: parent is (rank−1)/k (−1 on the root), children are the
+	// contiguous range [childBase, childBase+nKids). treeDepth is the
+	// depth of the deepest rank, collMsgs the messages this rank sends
+	// per collective (one up-partial plus one down-copy per child) —
+	// both stamped onto EvCollective spans.
+	parent    int
+	childBase int
+	nKids     int
+	treeDepth int
+	collMsgs  int
+
+	collSeq       int64
+	collUp        map[int64]*collState // child partials per collective seq
+	collResult    map[int64][]float64  // down-phase results received
+	collHasResult map[int64]bool
+	smallBuf      [3]float64 // scratch for the scalar collective wrappers
+
+	// batch is the reusable drain buffer of Epoch's message pump (one
+	// inbox lock per burst instead of per message).
+	batch []comm.Message
 
 	objects  map[ObjectID]any
 	location map[ObjectID]core.Rank
@@ -120,32 +127,42 @@ type ContextStats struct {
 	EpochsRun      int
 }
 
-type reduce struct {
-	count int
-	acc   float64
-	op    ReduceOp
-}
-
 func newContext(rt *Runtime, rank core.Rank) *Context {
 	rc := &Context{
-		rt:           rt,
-		rank:         rank,
-		n:            rt.n,
-		detectors:    make(map[int64]*termination.Detector),
-		pending:      make(map[int64][]comm.Message),
-		barArrivals:  make(map[int64]int),
-		barReleased:  make(map[int64]bool),
-		redState:     make(map[int64]*reduce),
-		redResult:    make(map[int64]float64),
-		redHasResult: make(map[int64]bool),
-		gatherState:  make(map[int64]*gather),
-		gatherResult: make(map[int64][]float64),
-		vecState:     make(map[int64]*vecReduce),
-		vecResult:    make(map[int64][]float64),
-		objects:      make(map[ObjectID]any),
-		location:     make(map[ObjectID]core.Rank),
-		tr:           rt.tracer,
-		ins:          rt.ins,
+		rt:            rt,
+		rank:          rank,
+		n:             rt.n,
+		detectors:     make(map[int64]*termination.Detector),
+		pending:       make(map[int64][]comm.Message),
+		collUp:        make(map[int64]*collState),
+		collResult:    make(map[int64][]float64),
+		collHasResult: make(map[int64]bool),
+		objects:       make(map[ObjectID]any),
+		location:      make(map[ObjectID]core.Rank),
+		tr:            rt.tracer,
+		ins:           rt.ins,
+	}
+	k := rt.fanout
+	r := int(rank)
+	rc.parent = -1
+	if r > 0 {
+		rc.parent = (r - 1) / k
+	}
+	rc.childBase = k*r + 1
+	if rc.childBase < rt.n {
+		rc.nKids = rt.n - rc.childBase
+		if rc.nKids > k {
+			rc.nKids = k
+		}
+	} else {
+		rc.childBase = rt.n // empty range even for huge ranks
+	}
+	for d := rt.n - 1; d > 0; d = (d - 1) / k {
+		rc.treeDepth++
+	}
+	rc.collMsgs = rc.nKids
+	if rc.parent >= 0 {
+		rc.collMsgs++
 	}
 	if rt.reliable {
 		rc.rel = newReliableState(rt.n, rt.retryBase, rt.retryCap)
@@ -289,14 +306,19 @@ func (rc *Context) Epoch(body func()) {
 	}
 
 	for !rc.epochDone {
-		// Drain everything already queued: we are active while messages
-		// remain.
+		// Drain everything already queued — we are active while messages
+		// remain — in batches: one inbox lock per burst, with the buffer
+		// (and the payload references it holds) reused and scrubbed
+		// between bursts.
 		for {
-			m, ok := rc.rt.nw.Recv(int(rc.rank))
-			if !ok {
+			rc.batch = rc.rt.nw.RecvBatch(int(rc.rank), rc.batch[:0])
+			if len(rc.batch) == 0 {
 				break
 			}
-			rc.dispatch(m)
+			for i := range rc.batch {
+				rc.dispatch(rc.batch[i])
+				rc.batch[i] = comm.Message{}
+			}
 		}
 		if rc.epochDone {
 			break
@@ -313,14 +335,7 @@ func (rc *Context) Epoch(body func()) {
 			})
 		}
 		if d.Terminated() { // only rank 0
-			for r := 0; r < rc.n; r++ {
-				if r != int(rc.rank) {
-					rc.rt.nw.Send(comm.Message{
-						From: int(rc.rank), To: r, Kind: kindDone,
-						Data: rc.epochSeq,
-					})
-				}
-			}
+			rc.forwardDone(rc.epochSeq)
 			break
 		}
 		m, ok := rc.recvEpoch()
@@ -402,30 +417,17 @@ func (rc *Context) dispatch(m comm.Message) {
 	case kindDone:
 		id := m.Data.(int64)
 		if !rc.inEpoch || id != rc.epochSeq {
+			// Raced ahead of our entry: stash; the replay after entry
+			// forwards it down the tree exactly once.
 			rc.pending[id] = append(rc.pending[id], m)
 			return
 		}
+		rc.forwardDone(id)
 		rc.epochDone = true
-	case kindBarrier:
-		rc.onBarrierArrive(m)
-	case kindRelease:
-		rc.barReleased[m.Data.(int64)] = true
-	case kindReduce:
-		rc.onReduceArrive(m)
-	case kindReduceResult:
-		rr := m.Data.(reduceResult)
-		rc.redResult[rr.Seq] = rr.Value
-		rc.redHasResult[rr.Seq] = true
-	case kindGather:
-		rc.onGatherArrive(m)
-	case kindGatherResult:
-		gr := m.Data.(gatherResult)
-		rc.gatherResult[gr.Seq] = gr.Values
-	case kindReduceVec:
-		rc.onVecArrive(m)
-	case kindReduceVecResult:
-		vr := m.Data.(vecResult)
-		rc.vecResult[vr.Seq] = vr.Values
+	case kindCollUp:
+		rc.onCollUp(m)
+	case kindCollDown:
+		rc.onCollDown(m)
 	default:
 		panic(fmt.Sprintf("amt: unknown message kind %d", m.Kind))
 	}
@@ -445,6 +447,18 @@ func (rc *Context) timedHandler(h HandlerID, from int, obj ObjectID, run func())
 	if rc.ins != nil {
 		rc.ins.handlerCalls.Inc()
 		rc.ins.handlerSeconds.Observe(int(rc.rank), elapsed.Seconds())
+	}
+}
+
+// forwardDone relays the epoch-done announcement to this rank's tree
+// children. The terminating root starts it, and every rank forwards it
+// exactly once on processing, so the broadcast costs each rank at most
+// fanout sends instead of putting all P−1 on the root.
+func (rc *Context) forwardDone(id int64) {
+	for c := rc.childBase; c < rc.childBase+rc.nKids; c++ {
+		rc.rt.nw.Send(comm.Message{
+			From: int(rc.rank), To: c, Kind: kindDone, Data: id,
+		})
 	}
 }
 

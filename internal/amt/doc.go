@@ -3,13 +3,26 @@
 // logical ranks driven by one goroutine each, active messages with
 // registered handlers, epochs terminated by distributed termination
 // detection (Safra's algorithm over the same transport), rank
-// collectives (barrier, all-reduce), migratable objects with a
-// forwarding location manager, and per-phase task instrumentation
+// collectives (barrier, all-reduce, all-gather), migratable objects with
+// a forwarding location manager, and per-phase task instrumentation
 // feeding the load balancers.
 //
 // The programming model is SPMD-with-tasks: Runtime.Run starts one
 // goroutine per rank executing the supplied main function; inside it,
 // ranks exchange active messages and call collectives in matching order.
+//
+// # Collectives
+//
+// Every collective rides one engine (collective.go): a reduction up a
+// k-ary rank tree (WithFanout, default 4) followed by a broadcast back
+// down. Per collective a rank sends at most fanout+1 messages — and
+// receives as many — instead of the 2(P−1) a star topology funnels
+// through rank 0, and the critical path is one sweep of depth
+// ceil(log_k P), which is what lets the distributed balancer run at the
+// paper's 4096-rank scale. The combine order is fixed by the topology
+// (own value, then children by ascending rank), never by message
+// arrival order, so floating-point reductions are bit-identical across
+// runs even under delays, stragglers and faults.
 //
 // When Runtime.SetFaults installs a lossy transport plan, epoch sends
 // switch to reliable delivery (reliable.go): sequence-numbered sends,

@@ -33,6 +33,10 @@ type Runtime struct {
 	handlerNames map[HandlerID]string
 	running      bool
 
+	// fanout is the arity k of the collective tree: rank r's parent is
+	// (r−1)/k and its children are k·r+1 … k·r+k. See collective.go.
+	fanout int
+
 	// Fault recovery (see SetFaults and reliable.go): reliable switches
 	// the contexts to ack/retry delivery; the atomics aggregate the
 	// per-rank recovery activity for FaultStats.
@@ -58,6 +62,7 @@ type instruments struct {
 	migrations     *obs.Counter
 	migrationBytes *obs.Counter
 	collectives    *obs.Counter
+	collMsgs       *obs.Counter
 	retries        *obs.Counter
 	dupDrops       *obs.Counter
 }
@@ -79,6 +84,16 @@ func WithMetrics() Option {
 	return func(rt *Runtime) { rt.EnableMetrics() }
 }
 
+// WithFanout sets the arity of the collective tree (see SetFanout).
+func WithFanout(k int) Option {
+	return func(rt *Runtime) { rt.SetFanout(k) }
+}
+
+// DefaultFanout is the arity of the collective tree when none is
+// configured: 4-ary keeps per-rank collective traffic at 2·4+2 messages
+// while reaching 4096 ranks in 6 levels.
+const DefaultFanout = 4
+
 // New creates a runtime over n logical ranks.
 func New(n int, opts ...Option) *Runtime {
 	if n < 1 {
@@ -90,6 +105,7 @@ func New(n int, opts ...Option) *Runtime {
 		handlers:     make(map[HandlerID]Handler),
 		objHandlers:  make(map[HandlerID]ObjectHandler),
 		handlerNames: make(map[HandlerID]string),
+		fanout:       DefaultFanout,
 	}
 	for _, opt := range opts {
 		opt(rt)
@@ -102,6 +118,21 @@ func (rt *Runtime) SetTracer(t obs.Tracer) {
 	rt.mustNotRun("SetTracer")
 	rt.tracer = t
 }
+
+// SetFanout sets the arity k ≥ 2 of the k-ary collective tree. Larger k
+// flattens the tree (fewer hops on the critical path) at the cost of
+// more messages per interior rank; per-rank collective work is
+// O(k·log_k P) either way. Call before Run.
+func (rt *Runtime) SetFanout(k int) {
+	rt.mustNotRun("SetFanout")
+	if k < 2 {
+		panic(fmt.Sprintf("amt: SetFanout: fanout must be >= 2, got %d", k))
+	}
+	rt.fanout = k
+}
+
+// Fanout returns the collective tree's arity.
+func (rt *Runtime) Fanout() int { return rt.fanout }
 
 // EnableMetrics switches on the runtime's metrics registry and the
 // transport's payload byte accounting, and returns the registry. It is
@@ -122,6 +153,7 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 		migrations:     m.Counter("amt_migrations_total"),
 		migrationBytes: m.Counter("amt_migration_bytes_total"),
 		collectives:    m.Counter("amt_collectives_total"),
+		collMsgs:       m.Counter("amt_collective_messages_total"),
 		retries:        m.Counter("amt_retries_total"),
 		dupDrops:       m.Counter("amt_duplicates_dropped_total"),
 	}
@@ -134,9 +166,7 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 // families; keep in sync with the kind constants in context.go.
 var kindNames = [...]string{
 	"user", "object", "migrate", "locupdate", "token", "done",
-	"barrier", "release", "reduce", "reduce_result",
-	"gather", "gather_result", "reduce_vec", "reduce_vec_result",
-	"ack",
+	"coll_up", "coll_down", "ack",
 }
 
 // Metrics returns the runtime's registry with the transport-level

@@ -271,6 +271,16 @@ func (nw *Network) Recv(rank int) (Message, bool) {
 	return nw.inboxes[rank].pop()
 }
 
+// RecvBatch drains every currently queued message for rank into buf and
+// returns the extended slice, without blocking. The whole burst costs
+// one lock acquisition instead of one per message, and passing the
+// previous call's buf (resliced to [:0]) makes the steady state
+// allocation-free. The caller should zero consumed entries it no longer
+// needs so payload references are released.
+func (nw *Network) RecvBatch(rank int, buf []Message) []Message {
+	return nw.inboxes[rank].popBatch(buf)
+}
+
 // RecvWait pops the next message for rank, blocking until one arrives or
 // the network is closed (ok=false).
 func (nw *Network) RecvWait(rank int) (Message, bool) {
@@ -319,6 +329,12 @@ type inbox struct {
 	queue  []Message
 	head   int
 	closed bool
+
+	// timer is popWaitTimeout's single reusable deadline timer; lazily
+	// created on the first timed wait and Reset on every subsequent one
+	// instead of allocating an AfterFunc per call (hot in the reliable
+	// layer's retransmission pump). Guarded by mu.
+	timer *time.Timer
 }
 
 func newInbox() *inbox {
@@ -356,18 +372,25 @@ func (ib *inbox) popWait() (Message, bool) {
 
 // popWaitTimeout is popWait with a deadline. The third result is true
 // when the deadline expired with the inbox empty and still open. The
-// timer broadcasts on the condition variable; each inbox has a single
-// consumer, so the wakeup cannot be stolen by another waiter.
+// deadline rides the inbox's single reusable timer, whose callback
+// broadcasts on the condition variable; each inbox has a single
+// consumer, so the wakeup cannot be stolen by another waiter, and a
+// stale callback from a Stop that lost the race merely causes one
+// spurious re-check of the loop condition.
 func (ib *inbox) popWaitTimeout(d time.Duration) (Message, bool, bool) {
 	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() {
-		ib.mu.Lock()
-		defer ib.mu.Unlock()
-		ib.cond.Broadcast()
-	})
-	defer timer.Stop()
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
+	if ib.timer == nil {
+		ib.timer = time.AfterFunc(d, func() {
+			ib.mu.Lock()
+			defer ib.mu.Unlock()
+			ib.cond.Broadcast()
+		})
+	} else {
+		ib.timer.Reset(d)
+	}
+	defer ib.timer.Stop()
 	for {
 		if m, ok := ib.popLocked(); ok {
 			return m, true, false
@@ -396,6 +419,21 @@ func (ib *inbox) popLocked() (Message, bool) {
 		ib.head = 0
 	}
 	return m, true
+}
+
+// popBatch appends every queued message to buf under one lock and
+// resets the queue, retaining its capacity. Internal references are
+// cleared so the inbox never pins delivered payloads.
+func (ib *inbox) popBatch(buf []Message) []Message {
+	ib.mu.Lock()
+	if ib.head < len(ib.queue) {
+		buf = append(buf, ib.queue[ib.head:]...)
+	}
+	clear(ib.queue)
+	ib.queue = ib.queue[:0]
+	ib.head = 0
+	ib.mu.Unlock()
+	return buf
 }
 
 func (ib *inbox) len() int {

@@ -1,7 +1,10 @@
 // Package comm provides the in-memory message transport underneath the
-// AMT runtime: per-rank unbounded inboxes with blocking and non-blocking
-// receive, per-sender FIFO ordering, and optional payload byte
-// accounting. It substitutes for the MPI layer of the paper's vt runtime;
+// AMT runtime: per-rank unbounded inboxes with blocking, non-blocking
+// and batched receive (RecvBatch drains a whole burst under one lock
+// acquisition), per-sender FIFO ordering, and optional payload byte
+// accounting. Deadline waits reuse a single timer per inbox rather than
+// arming a fresh one per call, so retry-heavy fault runs do not churn
+// the timer heap. It substitutes for the MPI layer of the paper's vt runtime;
 // everything above it (active messages, epochs, termination detection,
 // collectives) is implemented for real on top of this transport.
 //

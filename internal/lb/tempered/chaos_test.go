@@ -11,11 +11,27 @@ import (
 	"temperedlb/internal/core"
 )
 
+// dyadicLoad is the default chaos workload: multiples of 1/8, so any
+// summation order is exact and faulted/fault-free runs cannot diverge by
+// rounding even without ordering guarantees.
+func dyadicLoad(rank, i, objsPerHot int) float64 {
+	return float64((rank*objsPerHot+i)%8+1) / 8
+}
+
+// nonDyadicLoad deliberately picks loads whose sums round differently
+// under different addition orders (sevenths and thirds have no finite
+// binary expansion), so a test using it detects any arrival-order
+// dependence in the floating-point aggregation paths.
+func nonDyadicLoad(rank, i, objsPerHot int) float64 {
+	k := rank*objsPerHot + i
+	return 1.0/3.0 + float64(k%7)/7.0
+}
+
 // runChaosCase stands up a runtime with an optional fault spec, seeds a
-// deterministic clustered workload (dyadic loads, so floating-point sums
-// are exact in any order), runs the distributed balancer, and returns the
-// per-rank results, fault statistics, and final object census.
-func runChaosCase(t *testing.T, nRanks, hot, objsPerHot int, cfg core.Config, sp *comm.FaultSpec) ([]DistResult, amt.FaultStats, int) {
+// deterministic clustered workload via loadFn, runs the distributed
+// balancer, and returns the per-rank results, fault statistics, and
+// final object census.
+func runChaosCase(t *testing.T, nRanks, hot, objsPerHot int, cfg core.Config, sp *comm.FaultSpec, loadFn func(rank, i, objsPerHot int) float64) ([]DistResult, amt.FaultStats, int) {
 	t.Helper()
 	rt := amt.New(nRanks)
 	if sp != nil {
@@ -32,9 +48,7 @@ func runChaosCase(t *testing.T, nRanks, hot, objsPerHot int, cfg core.Config, sp
 		loads := make(map[amt.ObjectID]float64)
 		if int(rc.Rank()) < hot {
 			for i := 0; i < objsPerHot; i++ {
-				// Multiples of 1/8: any summation order is exact, so the
-				// faulted and fault-free runs cannot diverge by rounding.
-				l := float64((int(rc.Rank())*objsPerHot+i)%8+1) / 8
+				l := loadFn(int(rc.Rank()), i, objsPerHot)
 				id := rc.CreateObject(&colorState{Load: l})
 				loads[id] = l
 			}
@@ -80,7 +94,7 @@ func TestDistributedChaosLossy(t *testing.T) {
 		DelayMax:  2 * time.Millisecond,
 		RetryBase: time.Millisecond,
 	}
-	results, st, census := runChaosCase(t, 12, 2, 40, distConfig(), sp)
+	results, st, census := runChaosCase(t, 12, 2, 40, distConfig(), sp, dyadicLoad)
 	if census != 80 {
 		t.Errorf("object census %d, want 80 (objects lost or duplicated under faults)", census)
 	}
@@ -115,13 +129,13 @@ func TestDistributedChaosLossy(t *testing.T) {
 func TestDistributedChaosMatchesFaultFree(t *testing.T) {
 	cfg := distConfig()
 	cfg.Rounds = 1
-	clean, _, cleanCensus := runChaosCase(t, 10, 2, 32, cfg, nil)
+	clean, _, cleanCensus := runChaosCase(t, 10, 2, 32, cfg, nil, dyadicLoad)
 	sp := &comm.FaultSpec{
 		Seed: 7, Drop: 0.1, Dup: 0.1,
 		DelayMax:  time.Millisecond,
 		RetryBase: time.Millisecond,
 	}
-	faulted, st, faultedCensus := runChaosCase(t, 10, 2, 32, cfg, sp)
+	faulted, st, faultedCensus := runChaosCase(t, 10, 2, 32, cfg, sp, dyadicLoad)
 	if st.Dropped == 0 || st.Duplicated == 0 || st.Retries == 0 {
 		t.Fatalf("fault plan injected nothing: %+v", st)
 	}
@@ -142,14 +156,46 @@ func TestDistributedChaosMatchesFaultFree(t *testing.T) {
 func TestDistributedChaosEmptyPlanIdentity(t *testing.T) {
 	cfg := distConfig()
 	cfg.Rounds = 1
-	plain, _, _ := runChaosCase(t, 8, 2, 24, cfg, nil)
-	empty, st, _ := runChaosCase(t, 8, 2, 24, cfg, &comm.FaultSpec{})
+	plain, _, _ := runChaosCase(t, 8, 2, 24, cfg, nil, dyadicLoad)
+	empty, st, _ := runChaosCase(t, 8, 2, 24, cfg, &comm.FaultSpec{}, dyadicLoad)
 	if st != (amt.FaultStats{}) {
 		t.Fatalf("empty spec produced fault activity: %+v", st)
 	}
 	for r := range plain {
 		if !reflect.DeepEqual(stripTiming(plain[r]), stripTiming(empty[r])) {
 			t.Errorf("rank %d: empty fault spec changed the outcome", r)
+		}
+	}
+}
+
+// TestDistributedDelayDeterminismNonDyadic pins the bit-determinism of
+// the floating-point aggregation itself: with non-dyadic loads (whose
+// sums depend on addition order), a run under message delays plus a
+// straggler must produce a DistResult bit-identical to the fault-free
+// run. This only holds because both local summation (sorted object
+// order) and the tree collectives (combine order fixed by topology, not
+// arrival order) are independent of message timing. A delay-only spec
+// must also leave the reliability layer off: zero retries, zero drops.
+func TestDistributedDelayDeterminismNonDyadic(t *testing.T) {
+	cfg := distConfig()
+	cfg.Rounds = 1
+	clean, _, cleanCensus := runChaosCase(t, 12, 3, 24, cfg, nil, nonDyadicLoad)
+	sp := &comm.FaultSpec{
+		Seed:      5,
+		DelayMax:  2 * time.Millisecond,
+		SlowRanks: map[int]time.Duration{2: 3 * time.Millisecond},
+	}
+	delayed, st, delayedCensus := runChaosCase(t, 12, 3, 24, cfg, sp, nonDyadicLoad)
+	if st != (amt.FaultStats{}) {
+		t.Fatalf("delay-only spec engaged the reliability layer: %+v", st)
+	}
+	if cleanCensus != delayedCensus {
+		t.Errorf("census differs: clean %d, delayed %d", cleanCensus, delayedCensus)
+	}
+	for r := range clean {
+		c, d := stripTiming(clean[r]), stripTiming(delayed[r])
+		if !reflect.DeepEqual(c, d) {
+			t.Errorf("rank %d: delays perturbed a float result:\nclean:   %+v\ndelayed: %+v", r, c, d)
 		}
 	}
 }
@@ -162,7 +208,7 @@ func TestDistributedChaosStraggler(t *testing.T) {
 		SlowRanks: map[int]time.Duration{1: 2 * time.Millisecond},
 		RetryBase: time.Millisecond,
 	}
-	results, st, census := runChaosCase(t, 8, 1, 32, distConfig(), sp)
+	results, st, census := runChaosCase(t, 8, 1, 32, distConfig(), sp, dyadicLoad)
 	if census != 32 {
 		t.Errorf("census %d, want 32", census)
 	}

@@ -2,7 +2,7 @@ package tempered
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"temperedlb/internal/amt"
@@ -35,12 +35,32 @@ type rankState struct {
 	gossipEntries int
 
 	// Reused per-iteration buffers: the flattened working set and its
-	// reverse id mapping, plus the transfer stage's scratch. They keep
-	// the steady-state refinement loop free of per-iteration map and
-	// slice churn.
+	// reverse id mapping, the load-summation key scratch, plus the
+	// transfer stage's scratch. They keep the steady-state refinement
+	// loop free of per-iteration map and slice churn.
 	tasksBuf []core.Task
 	idsBuf   []amt.ObjectID
+	sumBuf   []amt.ObjectID
 	xfer     core.TransferScratch
+}
+
+// sumLoad totals a working set in ascending object-id order. Go's map
+// iteration order is randomized per run, and floating-point addition is
+// not associative, so a naive range would make non-dyadic load totals
+// differ between otherwise identical runs — the fixed order keeps the
+// whole protocol bit-deterministic, matching the topology-fixed combine
+// order of the tree collectives.
+func (st *rankState) sumLoad(w map[amt.ObjectID]float64) float64 {
+	st.sumBuf = st.sumBuf[:0]
+	for obj := range w {
+		st.sumBuf = append(st.sumBuf, obj)
+	}
+	slices.Sort(st.sumBuf)
+	s := 0.0
+	for _, obj := range st.sumBuf {
+		s += w[obj]
+	}
+	return s
 }
 
 // xferMsg proposes one task relocation: the sender cedes the (virtual)
@@ -143,18 +163,14 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	start := time.Now()
 	tr := rc.Tracer()
 
-	sumLoad := func(w map[amt.ObjectID]float64) float64 {
-		s := 0.0
-		for _, l := range w {
-			s += l
-		}
-		return s
-	}
-	ownLoad := sumLoad(loads)
-	total := rc.AllReduce(ownLoad, amt.ReduceSum)
+	// The whole gossip prologue is one fused collective round: the load
+	// max and total (and the unused min) ride a single mixed-op vector
+	// reduce instead of sequential scalar rounds.
+	ownLoad := st.sumLoad(loads)
+	maxLoad, _, total := rc.AllReduceSummary(ownLoad)
 	ave := total / float64(n)
 	res := DistResult{
-		InitialImbalance: imbalance(rc.AllReduce(ownLoad, amt.ReduceMax), ave),
+		InitialImbalance: imbalance(maxLoad, ave),
 	}
 	res.FinalImbalance = res.InitialImbalance
 	if tr != nil {
@@ -196,7 +212,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 			// detection — no synchronized rounds (§IV-B).
 			st.inform.Reset()
 			rc.Epoch(func() {
-				for _, s := range st.inform.Begin(ave, sumLoad(st.virtual)) {
+				for _, s := range st.inform.Begin(ave, st.sumLoad(st.virtual)) {
 					st.gossipSent++
 					st.gossipEntries += len(s.Msg.Entries)
 					if tr != nil {
@@ -214,7 +230,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 			var ts core.TransferStats
 			overloaded, knowledge := 0.0, 0.0
 			rc.Epoch(func() {
-				load := sumLoad(st.virtual)
+				load := st.sumLoad(st.virtual)
 				if load <= cfg.Threshold*ave {
 					return
 				}
@@ -265,7 +281,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				overloaded, overloaded * knowledge,
 			}, amt.ReduceSum)
 			maxes := rc.AllReduceVec([]float64{
-				sumLoad(st.virtual), negKnow, time.Since(iterStart).Seconds(),
+				st.sumLoad(st.virtual), negKnow, time.Since(iterStart).Seconds(),
 			}, amt.ReduceMax)
 
 			iterStat := core.IterationStats{
@@ -327,7 +343,7 @@ func (st *rankState) virtualTasks() ([]core.Task, []amt.ObjectID) {
 		st.idsBuf = append(st.idsBuf, obj)
 	}
 	ids := st.idsBuf
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	st.tasksBuf = st.tasksBuf[:0]
 	for i, obj := range ids {
 		st.tasksBuf = append(st.tasksBuf, core.Task{ID: core.TaskID(i), Load: st.virtual[obj]})

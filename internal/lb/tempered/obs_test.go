@@ -116,6 +116,46 @@ func TestDistributedTracingAcceptance(t *testing.T) {
 		}
 	}
 
+	// (d) Collective accounting on the k-ary tree: the gossip prologue is
+	// exactly one collective round per rank (the fused summary reduce),
+	// each iteration adds exactly two vector reduces, and no rank ever
+	// sends more than fanout·ceil(log_fanout P) messages per collective —
+	// the scaling contract that replaced the star's 2(P−1) on rank 0.
+	fanout := rt.Fanout()
+	bound := 0
+	for p := 1; p < nRanks; p *= fanout {
+		bound += fanout
+	}
+	perRank := map[int]int{}
+	prologues := map[int]int{}
+	for _, e := range events {
+		if e.Type != obs.EvCollective {
+			continue
+		}
+		perRank[e.Rank]++
+		if e.Name == "allreduce_summary" {
+			prologues[e.Rank]++
+		}
+		if int(e.Value) > bound {
+			t.Errorf("rank %d sent %g messages in %q, tree bound is %d",
+				e.Rank, e.Value, e.Name, bound)
+		}
+		if e.Fanout != fanout || e.Depth < 1 {
+			t.Errorf("collective event geometry: fanout %d depth %d", e.Fanout, e.Depth)
+		}
+	}
+	// One explicit barrier before the LB call, one prologue round, two
+	// reduces per iteration.
+	wantColl := 2 + 2*cfg.Trials*cfg.Iterations
+	for r := 0; r < nRanks; r++ {
+		if perRank[r] != wantColl {
+			t.Errorf("rank %d ran %d collectives, want %d", r, perRank[r], wantColl)
+		}
+		if prologues[r] != 1 {
+			t.Errorf("rank %d ran %d prologue rounds, want exactly 1", r, prologues[r])
+		}
+	}
+
 	var buf bytes.Buffer
 	if err := obs.WriteChromeTrace(&buf, events); err != nil {
 		t.Fatal(err)

@@ -137,6 +137,12 @@ func eventArgs(e Event) map[string]any {
 	if e.Bytes != 0 {
 		args["bytes"] = e.Bytes
 	}
+	if e.Fanout != 0 {
+		args["fanout"] = e.Fanout
+	}
+	if e.Depth != 0 {
+		args["depth"] = e.Depth
+	}
 	if len(args) == 0 {
 		return nil
 	}
@@ -161,7 +167,8 @@ func WriteEventsCSV(w io.Writer, events []Event) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"ts_us", "type", "rank", "peer", "trial", "iteration",
-		"epoch", "object", "value", "bytes", "dur_us", "name",
+		"epoch", "object", "value", "bytes", "fanout", "depth",
+		"dur_us", "name",
 	}); err != nil {
 		return err
 	}
@@ -177,6 +184,8 @@ func WriteEventsCSV(w io.Writer, events []Event) error {
 			strconv.FormatInt(e.Object, 10),
 			strconv.FormatFloat(e.Value, 'g', -1, 64),
 			strconv.Itoa(e.Bytes),
+			strconv.Itoa(e.Fanout),
+			strconv.Itoa(e.Depth),
 			strconv.FormatFloat(usec(e.Dur), 'f', 3, 64),
 			e.Name,
 		}
@@ -200,6 +209,8 @@ type jsonEvent struct {
 	Object    int64   `json:"object,omitempty"`
 	Value     float64 `json:"value,omitempty"`
 	Bytes     int     `json:"bytes,omitempty"`
+	Fanout    int     `json:"fanout,omitempty"`
+	Depth     int     `json:"depth,omitempty"`
 	DurMicros float64 `json:"dur_us,omitempty"`
 	Name      string  `json:"name,omitempty"`
 }
@@ -214,7 +225,8 @@ func WriteEventsJSON(w io.Writer, events []Event) error {
 			TSMicros: usec(e.TS), Type: e.Type.String(), Rank: e.Rank,
 			Peer: e.Peer, Trial: e.Trial, Iteration: e.Iteration,
 			Epoch: e.Epoch, Object: e.Object, Value: e.Value,
-			Bytes: e.Bytes, DurMicros: usec(e.Dur), Name: e.Name,
+			Bytes: e.Bytes, Fanout: e.Fanout, Depth: e.Depth,
+			DurMicros: usec(e.Dur), Name: e.Name,
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -49,8 +49,11 @@ const (
 	// event carries the rank's summed task load in Value.
 	EvPhaseBegin
 	EvPhaseEnd
-	// EvCollective is one completed collective call (Name = "barrier",
-	// "allreduce", "allgather"); Dur spans entry to completion.
+	// EvCollective is one completed collective call (Name identifies the
+	// algorithm: "barrier", "allreduce", "allreduce_summary",
+	// "allreduce_vec", "allgather"); Dur spans entry to completion. Value
+	// carries the messages this rank sent for the collective, and
+	// Fanout/Depth describe the reduction tree it rode.
 	EvCollective
 	// EvIterBegin and EvIterEnd bracket one LB refinement iteration
 	// (Trial/Iteration set); the end event carries the evaluated
@@ -126,6 +129,11 @@ type Event struct {
 	Value float64
 	// Bytes is the payload size where accounted.
 	Bytes int
+	// Fanout and Depth describe the collective tree for EvCollective
+	// events: the configured arity and the depth of its deepest rank
+	// (0 when not applicable).
+	Fanout int
+	Depth  int
 	// Name further qualifies the event (handler or collective name).
 	Name string
 	// TS is the event timestamp on the recorder's monotonic clock

@@ -52,10 +52,17 @@ const (
 )
 
 // NewRuntime creates an AMT runtime over n logical ranks, each driven by
-// its own goroutine once Run is called. Options attach observability:
-// WithTracer for protocol event tracing, WithMetrics for the counter/
-// histogram registry.
+// its own goroutine once Run is called. Options attach observability
+// (WithTracer for protocol event tracing, WithMetrics for the counter/
+// histogram registry) and tune the collective tree (WithFanout).
 func NewRuntime(n int, opts ...RuntimeOption) *Runtime { return amt.New(n, opts...) }
+
+// WithFanout sets the arity k ≥ 2 of the runtime's k-ary collective
+// tree (default 4): every barrier, all-reduce and all-gather is a
+// reduce up and a broadcast down this tree, costing each rank at most
+// 2k+2 messages regardless of the rank count, with combine order fixed
+// by the topology so floating-point reductions are bit-deterministic.
+func WithFanout(k int) RuntimeOption { return amt.WithFanout(k) }
 
 // ParseFaultSpec parses a comma-separated fault directive such as
 // "seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms" into a FaultSpec.

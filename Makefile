@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos storm check bench bench-json bench-compare
+.PHONY: build test vet lint race chaos storm check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the determinism and concurrency
+# contracts of DESIGN.md §9, enforced by cmd/lbvet, plus a gofmt gate.
+lint:
+	$(GO) run ./cmd/lbvet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 
 # Full race-detector pass; includes the obs-instrumented chaos tests,
 # which is how we prove the tracer and metrics add no data races.
@@ -31,10 +38,11 @@ chaos:
 storm:
 	$(GO) test -race -count=1 -run 'TestChaosTreeCollectiveStorm1024$$' ./internal/amt/
 
-# The CI gate: static analysis, the race-enabled suite, the chaos
-# suite (which includes the storm), and the benchmark regression diff
-# against the committed trajectory.
-check: vet race chaos bench-compare
+# The CI gate: static analysis (go vet and the project's lbvet
+# analyzers), the race-enabled suite, the chaos suite (which includes
+# the storm), and the benchmark regression diff against the committed
+# trajectory.
+check: vet lint race chaos bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,166 @@
+// Command lbvet runs the module's project-specific static analyzers —
+// the machine-checked form of the determinism and concurrency contracts
+// of DESIGN.md §9 — over the given package patterns.
+//
+// Usage:
+//
+//	lbvet [-only=analyzer,...] [-json] [-list] [patterns...]
+//
+// Patterns are ./...-style directory patterns relative to the module
+// root (default ./...). Findings print as `file:line: message
+// [analyzer]`; with -json they print as a JSON array. The exit status
+// is 1 when findings exist, 2 on usage or load errors.
+//
+// Suppress a finding with a directive on the offending line or the line
+// above it:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"temperedlb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := analysis.Select(all, *only)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbvet:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "lbvet:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, "lbvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err = filterPackages(pkgs, loader.ModuleRoot(), patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbvet:", err)
+		return 2
+	}
+
+	runner := &analysis.Runner{Analyzers: selected}
+	diags := runner.Run(pkgs)
+
+	// Report positions relative to the working directory for readable,
+	// clickable output.
+	wd, _ := os.Getwd()
+	for i := range diags {
+		if wd == "" {
+			break
+		}
+		if rel, err := filepath.Rel(wd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *asJSON {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "lbvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages matching the ./...-style patterns,
+// interpreted relative to the current working directory.
+func filterPackages(pkgs []*analysis.Package, modRoot string, patterns []string) ([]*analysis.Package, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			ok, err := matchPattern(p.Dir, wd, pat)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return out, nil
+}
+
+func matchPattern(dir, wd, pat string) (bool, error) {
+	recursive := false
+	if pat == "..." {
+		pat, recursive = ".", true
+	} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		pat, recursive = rest, true
+	}
+	base, err := filepath.Abs(filepath.Join(wd, filepath.FromSlash(pat)))
+	if err != nil {
+		return false, err
+	}
+	if dir == base {
+		return true, nil
+	}
+	return recursive && strings.HasPrefix(dir, base+string(filepath.Separator)), nil
+}

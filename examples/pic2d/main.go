@@ -154,8 +154,16 @@ func main() {
 				}
 				c.Particles = kept
 				rc.RecordWork(id, float64(len(kept))+1)
-				for tgt, ps := range moved {
-					sends = append(sends, outgoing{tgt, ps})
+				// Drain moved in sorted target order: sends is later
+				// sorted by target with a non-stable sort, so entries
+				// sharing a target would otherwise keep map order.
+				tgts := make([]int, 0, len(moved))
+				for tgt := range moved {
+					tgts = append(tgts, tgt)
+				}
+				sort.Ints(tgts)
+				for _, tgt := range tgts {
+					sends = append(sends, outgoing{tgt, moved[tgt]})
 				}
 			}
 			stats := rc.PhaseEnd()

@@ -3,8 +3,8 @@ package amt
 import (
 	"fmt"
 	"math"
-	"time"
 
+	"temperedlb/internal/clock"
 	"temperedlb/internal/comm"
 	"temperedlb/internal/obs"
 )
@@ -58,13 +58,13 @@ func (rc *Context) collStart(name string) func() {
 	if rc.tr == nil && rc.ins == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := clock.Now()
 	return func() {
 		if rc.tr != nil {
 			rc.Emit(obs.Event{Type: obs.EvCollective, Peer: -1, Object: -1,
 				Name: name, Value: float64(rc.collMsgs),
 				Fanout: rc.rt.fanout, Depth: rc.treeDepth,
-				Dur: time.Since(start)})
+				Dur: clock.Since(start)})
 		}
 		if rc.ins != nil {
 			rc.ins.collectives.Inc()

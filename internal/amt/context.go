@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"temperedlb/internal/clock"
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
 	"temperedlb/internal/obs"
@@ -286,7 +287,7 @@ func (rc *Context) Epoch(body func()) {
 
 	var epochStart time.Time
 	if rc.tr != nil || rc.ins != nil {
-		epochStart = time.Now()
+		epochStart = clock.Now()
 	}
 	if rc.tr != nil {
 		rc.Emit(obs.Event{Type: obs.EvEpochOpen, Peer: -1, Object: -1, Epoch: rc.epochSeq})
@@ -349,7 +350,7 @@ func (rc *Context) Epoch(body func()) {
 	rc.inEpoch = false
 	delete(rc.detectors, rc.epochSeq)
 	if rc.tr != nil || rc.ins != nil {
-		elapsed := time.Since(epochStart)
+		elapsed := clock.Since(epochStart)
 		if rc.tr != nil {
 			rc.Emit(obs.Event{Type: obs.EvEpochClose, Peer: -1, Object: -1,
 				Epoch: rc.epochSeq, Value: float64(waves), Dur: elapsed})
@@ -437,9 +438,9 @@ func (rc *Context) dispatch(m comm.Message) {
 // instrumentation. Only called when at least one of the two is active;
 // the uninstrumented dispatch path never reaches it.
 func (rc *Context) timedHandler(h HandlerID, from int, obj ObjectID, run func()) {
-	start := time.Now()
+	start := clock.Now()
 	run()
-	elapsed := time.Since(start)
+	elapsed := clock.Since(start)
 	if rc.tr != nil {
 		rc.Emit(obs.Event{Type: obs.EvHandler, Peer: from, Object: int64(obj),
 			Name: rc.rt.handlerName(h), Dur: elapsed})

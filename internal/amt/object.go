@@ -2,6 +2,7 @@ package amt
 
 import (
 	"fmt"
+	"slices"
 
 	"temperedlb/internal/comm"
 	"temperedlb/internal/core"
@@ -55,12 +56,13 @@ func (rc *Context) ObjectState(id ObjectID) (any, bool) {
 }
 
 // LocalObjects returns the ids of all objects currently hosted on this
-// rank, in unspecified order.
+// rank, in ascending order so callers iterate deterministically.
 func (rc *Context) LocalObjects() []ObjectID {
 	out := make([]ObjectID, 0, len(rc.objects))
 	for id := range rc.objects {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 

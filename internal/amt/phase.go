@@ -2,6 +2,7 @@ package amt
 
 import (
 	"fmt"
+	"slices"
 
 	"temperedlb/internal/obs"
 )
@@ -71,8 +72,15 @@ func (rc *Context) PhaseEnd() PhaseStats {
 	}
 	rc.phase.active = false
 	st := PhaseStats{Loads: rc.phase.loads}
-	for _, l := range st.Loads {
-		st.Total += l
+	// Sum in sorted-key order: the total feeds imbalance comparisons on
+	// every rank, so its FP combine order must not follow map order.
+	ids := make([]ObjectID, 0, len(st.Loads))
+	for id := range st.Loads {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		st.Total += st.Loads[id]
 	}
 	rc.phase.loads = nil
 	if rc.tr != nil {

@@ -2,8 +2,10 @@ package amt
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"temperedlb/internal/clock"
 	"temperedlb/internal/comm"
 	"temperedlb/internal/obs"
 )
@@ -124,7 +126,7 @@ func (rl *reliableState) track(m *comm.Message, epoch int64) {
 	rl.seq[m.To]++
 	m.MsgID = rl.seq[m.To]
 	rl.pending[pendKey{dest: m.To, id: m.MsgID}] = &relPending{
-		m: *m, epoch: epoch, attempts: 1, deadline: time.Now().Add(rl.base),
+		m: *m, epoch: epoch, attempts: 1, deadline: clock.Now().Add(rl.base),
 	}
 }
 
@@ -178,7 +180,7 @@ func (rc *Context) recvEpoch() (comm.Message, bool) {
 		if rl == nil || len(rl.pending) == 0 {
 			return rc.rt.nw.RecvWait(int(rc.rank))
 		}
-		wait := time.Until(rc.nextRetryDeadline())
+		wait := clock.Until(rc.nextRetryDeadline())
 		if wait > 0 {
 			m, ok, timedOut := rc.rt.nw.RecvWaitTimeout(int(rc.rank), wait)
 			if !timedOut {
@@ -211,11 +213,25 @@ func (rc *Context) retryDue() {
 	if rc.rt.nw.Closed() {
 		panic("amt: network closed inside epoch")
 	}
-	now := time.Now()
-	for _, p := range rc.rel.pending {
+	now := clock.Now()
+	// Retransmit in (dest, id) order: retry timing is wall-clock-driven
+	// and so inherently nondeterministic, but the relative order of the
+	// retransmissions themselves must not also depend on map iteration.
+	due := make([]pendKey, 0, len(rc.rel.pending))
+	for k, p := range rc.rel.pending {
 		if p.deadline.After(now) {
 			continue
 		}
+		due = append(due, k)
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].dest != due[j].dest {
+			return due[i].dest < due[j].dest
+		}
+		return due[i].id < due[j].id
+	})
+	for _, k := range due {
+		p := rc.rel.pending[k]
 		p.attempts++
 		backoff := rc.rel.base << uint(p.attempts-1)
 		if backoff > rc.rel.cap {

@@ -1,0 +1,245 @@
+// Package analysis is a self-contained static-analysis framework for
+// this module: a loader that parses and typechecks every package with
+// nothing but the standard library (go/parser, go/ast, go/types — no
+// golang.org/x/tools), a driver that runs project-specific analyzers
+// over the loaded packages, and the analyzers themselves, which turn
+// the repo's determinism and concurrency contracts (DESIGN.md §9) into
+// machine-checked gates.
+//
+// The cmd/lbvet binary is the front end; `make lint` runs it over ./...
+//
+// Findings can be suppressed with a directive comment on the offending
+// line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression is a documented exception to a
+// contract, not an off switch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical `file:line: message
+// [analyzer]` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+}
+
+// Analyzer is one project-specific check. Run is invoked once per
+// loaded package; Finish, when non-nil, is invoked once after every
+// package has been visited, for checks that need module-wide
+// aggregation (atomicfields). Analyzers may carry state between Run
+// calls, so a fresh set must be created per driver run (see Analyzers).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+	// Finish reports module-level findings after all packages ran.
+	Finish func(report func(pos token.Pos, format string, args ...any))
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Runner drives a set of analyzers over loaded packages and applies
+// suppression directives.
+type Runner struct {
+	Analyzers []*Analyzer
+	// fset is taken from the first package; all packages of one Loader
+	// share it.
+	fset *token.FileSet
+}
+
+// typecheckAnalyzer is the pseudo-analyzer name under which load and
+// typecheck failures are reported. A package that does not typecheck is
+// itself a finding — the driver must never panic on one.
+const typecheckAnalyzer = "typecheck"
+
+// Run executes every analyzer over every package, collects the
+// diagnostics, filters suppressed ones, and returns the remainder
+// sorted by position. Packages that failed to typecheck contribute
+// their type errors as `typecheck` diagnostics and are excluded from
+// analysis (their type information is incomplete).
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, pkg := range pkgs {
+		if r.fset == nil {
+			r.fset = pkg.Fset
+		}
+		if len(pkg.TypeErrors) > 0 {
+			for _, err := range pkg.TypeErrors {
+				diags = append(diags, typeErrorDiagnostic(pkg, err))
+			}
+			continue
+		}
+		for _, a := range r.Analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+		}
+	}
+	if r.fset == nil {
+		r.fset = token.NewFileSet()
+	}
+	for _, a := range r.Analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      r.fset.Position(pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	malformed := r.applyIgnores(pkgs, &diags)
+	diags = append(diags, malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func typeErrorDiagnostic(pkg *Package, err error) Diagnostic {
+	d := Diagnostic{Analyzer: typecheckAnalyzer, Message: err.Error()}
+	if te, ok := err.(types.Error); ok {
+		d.Pos = te.Fset.Position(te.Pos)
+		d.Message = te.Msg
+	} else if d.Pos.Filename == "" {
+		d.Pos = token.Position{Filename: pkg.Dir}
+	}
+	return d
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	line     int
+	file     string
+}
+
+// applyIgnores drops diagnostics covered by a `//lint:ignore analyzer
+// reason` directive on the same line or the line directly above, and
+// returns extra diagnostics for malformed directives. It mutates diags
+// in place.
+func (r *Runner) applyIgnores(pkgs []*Package, diags *[]Diagnostic) []Diagnostic {
+	directives := make(map[string]map[int]map[string]bool) // file -> line -> analyzer
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+					pos := pkg.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					byLine := directives[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						directives[pos.Filename] = byLine
+					}
+					if byLine[pos.Line] == nil {
+						byLine[pos.Line] = make(map[string]bool)
+					}
+					byLine[pos.Line][fields[0]] = true
+				}
+			}
+		}
+	}
+	kept := (*diags)[:0]
+	for _, d := range *diags {
+		byLine := directives[d.Pos.Filename]
+		if byLine != nil && (byLine[d.Pos.Line][d.Analyzer] || byLine[d.Pos.Line-1][d.Analyzer]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	*diags = kept
+	return malformed
+}
+
+// Select resolves a comma-separated -only list against the given
+// analyzers, preserving registration order. An empty spec selects all;
+// an unknown name is an error naming the valid set.
+func Select(all []*Analyzer, only string) ([]*Analyzer, error) {
+	if strings.TrimSpace(only) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
+	}
+	var sel []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			sel = append(sel, a)
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// Analyzers returns a fresh instance of every project analyzer, in
+// stable order. Instances carry module-level aggregation state, so a
+// new set must be created for each Runner.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		newNodeterminism(),
+		newMaporder(),
+		newLockdiscipline(),
+		newAtomicfields(),
+		newScratchescape(),
+	}
+}

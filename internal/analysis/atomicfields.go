@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicFuncNames are the sync/atomic package-level operations whose
+// first argument addresses the word being operated on.
+var atomicFuncNames = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true,
+	"AddUintptr": true, "LoadInt32": true, "LoadInt64": true,
+	"LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"LoadPointer": true, "StoreInt32": true, "StoreInt64": true,
+	"StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"StorePointer": true, "SwapInt32": true, "SwapInt64": true,
+	"SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+	"SwapPointer": true, "CompareAndSwapInt32": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+	"CompareAndSwapPointer": true,
+}
+
+// newAtomicfields flags struct fields that are accessed both through
+// sync/atomic functions and through plain loads or stores anywhere in
+// the module. Mixing the two breaks the happens-before edges the atomic
+// accesses were supposed to provide (the plain access races with every
+// atomic one). Fields of the atomic.Int64-style wrapper types cannot be
+// mixed this way and are ignored — this analyzer exists for the
+// address-based atomic.{Add,Load,Store}* idiom that obs.Metrics and the
+// transport counters started from. Aggregation is module-wide: the
+// atomic access may live in one package and the plain access in
+// another, so findings are reported from the Finish hook.
+func newAtomicfields() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfields",
+		Doc:  "flag struct fields accessed both via sync/atomic and via plain loads/stores",
+	}
+	atomicUse := make(map[*types.Var][]token.Pos)
+	plainUse := make(map[*types.Var][]token.Pos)
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		// Selector nodes consumed as &x.f arguments of atomic calls;
+		// they must not be double-counted as plain uses.
+		viaAtomic := make(map[*ast.SelectorExpr]bool)
+		walkStack(pass.Pkg.Files, func(n ast.Node, _ []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, ok := pkgFunc(info, call, "sync/atomic")
+			if !ok || !atomicFuncNames[name] || len(call.Args) == 0 {
+				return
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			if f := fieldOf(info, sel); f != nil {
+				viaAtomic[sel] = true
+				atomicUse[f] = append(atomicUse[f], sel.Pos())
+			}
+		})
+		walkStack(pass.Pkg.Files, func(n ast.Node, _ []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || viaAtomic[sel] {
+				return
+			}
+			f := fieldOf(info, sel)
+			if f == nil {
+				return
+			}
+			// Wrapper-typed fields (atomic.Int64 etc.) have no plain
+			// access mode worth tracking; their method calls all go
+			// through the atomic API.
+			if t := f.Type(); t != nil {
+				if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "sync/atomic" {
+					return
+				}
+			}
+			plainUse[f] = append(plainUse[f], sel.Pos())
+		})
+	}
+	a.Finish = func(report func(pos token.Pos, format string, args ...any)) {
+		for f := range atomicUse {
+			for _, pos := range plainUse[f] {
+				report(pos,
+					"field %s is accessed with sync/atomic elsewhere but read/written plainly here: every access must go through sync/atomic", f.Name())
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTypecheckFailureIsDiagnostic loads a package that does not
+// compile: the driver must report it under the typecheck
+// pseudo-analyzer and skip analysis, never panic.
+func TestTypecheckFailureIsDiagnostic(t *testing.T) {
+	pkg := testLoader(t).LoadDir(filepath.Join("testdata", "broken"), "td/internal/core/broken")
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("fixture unexpectedly typechecks")
+	}
+	runner := &Runner{Analyzers: Analyzers()}
+	diags := runner.Run([]*Package{pkg})
+	if len(diags) == 0 {
+		t.Fatal("expected a typecheck diagnostic, got none")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "typecheck" {
+			t.Errorf("analyzer ran over a broken package: %s", d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "undefinedName") {
+		t.Errorf("diagnostic does not name the type error: %s", diags[0])
+	}
+}
+
+// TestIgnoreSuppressesExactlyOne runs nodeterminism over a fixture with
+// two identical violations, one covered by //lint:ignore: exactly the
+// uncovered one must survive.
+func TestIgnoreSuppressesExactlyOne(t *testing.T) {
+	pkg := testLoader(t).LoadDir(filepath.Join("testdata", "ignore"), "td/internal/core/ignore")
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not typecheck: %v", pkg.TypeErrors)
+	}
+	runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, "nodeterminism")}}
+	diags := runner.Run([]*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "nodeterminism" || !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("surviving finding is not the expected one: %s", d)
+	}
+}
+
+// TestMalformedIgnoreDirective: a directive without a reason suppresses
+// nothing and is itself reported.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	pkg := testLoader(t).LoadDir(filepath.Join("testdata", "malformed"), "td/internal/core/malformed")
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not typecheck: %v", pkg.TypeErrors)
+	}
+	runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, "nodeterminism")}}
+	diags := runner.Run([]*Package{pkg})
+	var sawMalformed, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			sawMalformed = strings.Contains(d.Message, "malformed lint:ignore")
+		case "nodeterminism":
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("malformed directive not reported: %v", diags)
+	}
+	if !sawFinding {
+		t.Errorf("malformed directive suppressed the finding: %v", diags)
+	}
+}
+
+// TestSelect covers the -only flag resolution: empty selects all, a
+// known name selects it, an unknown name errors listing the valid set.
+func TestSelect(t *testing.T) {
+	all := Analyzers()
+	sel, err := Select(all, "")
+	if err != nil || len(sel) != len(all) {
+		t.Errorf("empty spec: got %d analyzers, err %v; want all %d", len(sel), err, len(all))
+	}
+	sel, err = Select(all, "maporder")
+	if err != nil || len(sel) != 1 || sel[0].Name != "maporder" {
+		t.Errorf("single name: got %v, err %v", sel, err)
+	}
+	_, err = Select(all, "nosuch")
+	if err == nil {
+		t.Fatal("unknown analyzer did not error")
+	}
+	if !strings.Contains(err.Error(), `unknown analyzer "nosuch"`) ||
+		!strings.Contains(err.Error(), "maporder") {
+		t.Errorf("error does not name the unknown analyzer and the valid set: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package of the module.
+type Package struct {
+	Path  string // import path, e.g. temperedlb/internal/core
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds every parse and typecheck error of the package.
+	// Analyzers are not run over packages with errors: their type
+	// information is incomplete, and the errors themselves are the
+	// findings.
+	TypeErrors []error
+}
+
+// Loader parses and typechecks packages of one module with a single
+// shared FileSet, resolving module-internal imports from source and
+// standard-library imports through go/importer's source importer (the
+// module has no external dependencies, so nothing else can appear).
+//
+// Test files (_test.go) are not loaded: the analyzers guard production
+// protocol code, and tests legitimately use wall clocks, global
+// randomness and unordered iteration.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	modRoot string
+	std     types.Importer
+	pkgs    map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package
+	loading bool
+}
+
+// NewLoader locates the enclosing module of dir (via go.mod) and
+// returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		modRoot: root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loadEntry),
+	}, nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ModuleRoot returns the module's root directory.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+func moduleName(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			name := strings.TrimSpace(rest)
+			if name != "" {
+				return strings.Trim(name, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadAll discovers and loads every package under the module root,
+// skipping testdata, hidden and underscore-prefixed directories.
+// Packages are returned in import-path order. Load failures of a
+// package are recorded on it, never returned as an error: a package
+// that does not typecheck is a diagnostic, not a crash.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoSource(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.modRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modPath
+		if rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs = append(pkgs, l.Load(path))
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func hasGoSource(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns the package with the given module-internal import path,
+// loading and typechecking it (and, recursively, its module-internal
+// imports) on first use. Errors are recorded in the package's
+// TypeErrors.
+func (l *Loader) Load(path string) *Package {
+	if e, ok := l.pkgs[path]; ok {
+		return e.pkg
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return l.loadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir loads the single package in dir under the given import path,
+// without requiring dir to live inside the module tree. The golden-file
+// tests use it to typecheck testdata packages under synthetic protocol
+// paths.
+func (l *Loader) LoadDir(dir, asPath string) *Package {
+	if e, ok := l.pkgs[asPath]; ok {
+		return e.pkg
+	}
+	return l.loadDir(dir, asPath)
+}
+
+func (l *Loader) loadDir(dir, path string) *Package {
+	entry := &loadEntry{loading: true}
+	l.pkgs[path] = entry
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	entry.pkg = pkg
+	defer func() { entry.loading = false }()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+		return pkg
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, fmt.Errorf("no Go source files in %s", dir))
+		return pkg
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return pkg
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) { return l.importPkg(ipath) }),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	return pkg
+}
+
+// importPkg resolves one import during typechecking: module-internal
+// paths recurse into the loader, everything else (the standard library)
+// goes to the source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if e, ok := l.pkgs[path]; ok {
+			if e.loading {
+				return nil, fmt.Errorf("import cycle through %s", path)
+			}
+			return l.importedTypes(e.pkg)
+		}
+		return l.importedTypes(l.Load(path))
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) importedTypes(pkg *Package) (*types.Package, error) {
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("package %s failed to load", pkg.Path)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("package %s has type errors", pkg.Path)
+	}
+	return pkg.Types, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newLockdiscipline flags message sends made while a sync.Mutex or
+// sync.RWMutex acquired in the same function is still held. A send can
+// block arbitrarily (or re-enter code that wants the same lock), so the
+// repo's transport layers release every lock before handing a message
+// on — the PR 3 shutdown race (comm.Close racing delayed deliveries)
+// was exactly a lock-ordering bug of this shape. The analysis is
+// intra-procedural and path-insensitive: statements are scanned in
+// source order with a held-lock set; branches that terminate (return,
+// panic) do not leak their lock state past the branch.
+func newLockdiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "flag sends made while a mutex acquired in the same function is held",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				s := &lockScan{pass: pass, held: map[string]bool{}}
+				s.stmts(fd.Body.List)
+			}
+		}
+	}
+	return a
+}
+
+type lockScan struct {
+	pass *Pass
+	// held maps the lock expression (e.g. "nw.delayMu") to true while
+	// acquired; deferred unlocks do not release — the lock is held for
+	// the rest of the function.
+	held     map[string]bool
+	deferred map[string]bool
+}
+
+func (s *lockScan) snapshot() map[string]bool {
+	c := make(map[string]bool, len(s.held))
+	for k, v := range s.held {
+		c[k] = v
+	}
+	return c
+}
+
+func (s *lockScan) restore(m map[string]bool) { s.held = m }
+
+// merge unions other into the current held set (conservative: held on
+// any surviving path counts as held).
+func (s *lockScan) merge(other map[string]bool) {
+	for k, v := range other {
+		if v {
+			s.held[k] = true
+		}
+	}
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch v := st.(type) {
+	case *ast.ExprStmt:
+		s.expr(v.X)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			s.expr(e)
+		}
+		for _, e := range v.Lhs {
+			s.expr(e)
+		}
+	case *ast.SendStmt:
+		s.checkSend(v)
+		s.expr(v.Chan)
+		s.expr(v.Value)
+	case *ast.DeferStmt:
+		if key, op, ok := s.lockOp(v.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// The lock stays held until function exit; remember it so an
+			// explicit Unlock statement is not needed to balance it.
+			if s.deferred == nil {
+				s.deferred = map[string]bool{}
+			}
+			s.deferred[key] = true
+			return
+		}
+		s.expr(v.Call)
+	case *ast.GoStmt:
+		// The goroutine body runs later, without this function's locks.
+		save := s.snapshot()
+		s.restore(map[string]bool{})
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			s.stmts(lit.Body.List)
+		}
+		s.restore(save)
+	case *ast.BlockStmt:
+		s.stmts(v.List)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		s.expr(v.Cond)
+		before := s.snapshot()
+		s.stmt(v.Body)
+		afterThen := s.snapshot()
+		thenTerm := terminates(v.Body)
+		s.restore(before)
+		elseTerm := false
+		if v.Else != nil {
+			s.stmt(v.Else)
+			elseTerm = terminates(v.Else)
+		}
+		if elseTerm {
+			s.restore(before)
+		}
+		if !thenTerm {
+			s.merge(afterThen)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			s.expr(v.Cond)
+		}
+		s.stmt(v.Body)
+		if v.Post != nil {
+			s.stmt(v.Post)
+		}
+	case *ast.RangeStmt:
+		s.expr(v.X)
+		s.stmt(v.Body)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		if v.Tag != nil {
+			s.expr(v.Tag)
+		}
+		s.caseBodies(v.Body)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		s.caseBodies(v.Body)
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				before := s.snapshot()
+				if cc.Comm != nil {
+					s.stmt(cc.Comm)
+				}
+				s.stmts(cc.Body)
+				if terminatesStmts(cc.Body) {
+					s.restore(before)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			s.expr(e)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(v.Stmt)
+	case *ast.DeclStmt:
+		ast.Inspect(v, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.exprShallow(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (s *lockScan) caseBodies(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			before := s.snapshot()
+			s.stmts(cc.Body)
+			if terminatesStmts(cc.Body) {
+				s.restore(before)
+			}
+		}
+	}
+}
+
+// expr walks an expression, updating lock state for Lock/Unlock calls
+// and flagging sends while locks are held. Function literals are not
+// descended into (they run elsewhere).
+func (s *lockScan) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := s.lockOp(v); ok {
+				switch op {
+				case "Lock", "RLock":
+					s.held[key] = true
+				case "Unlock", "RUnlock":
+					delete(s.held, key)
+				case "TryLock", "TryRLock":
+					// Result-dependent; treat as acquired (conservative).
+					s.held[key] = true
+				}
+				return true
+			}
+			s.checkSend(v)
+		}
+		return true
+	})
+}
+
+// exprShallow records only lock operations (used for decl initializers).
+func (s *lockScan) exprShallow(e ast.Expr) { s.expr(e) }
+
+// checkSend reports n when it is a send and any lock is held.
+func (s *lockScan) checkSend(n ast.Node) {
+	if len(s.held) == 0 || !isSendCall(s.pass.Pkg.Info, n) {
+		return
+	}
+	for key := range s.held {
+		s.pass.Reportf(n.Pos(),
+			"message send while %s is held: release the lock before handing the message to the transport", key)
+		return
+	}
+}
+
+// lockOp classifies call as a sync.Mutex/RWMutex method call, returning
+// the receiver expression string and the method name.
+func (s *lockScan) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	fn := methodOf(s.pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	if name := namedTypeName(recv.Type()); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// terminates reports whether the statement always transfers control out
+// (return, panic, continue/break/goto) on its final path.
+func terminates(st ast.Stmt) bool {
+	switch v := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminatesStmts(v.List)
+	}
+	return false
+}
+
+func terminatesStmts(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminates(list[len(list)-1])
+}

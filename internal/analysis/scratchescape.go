@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isScratchSelector reports whether sel selects a reusable scratch
+// buffer: a field whose name ends in "Buf" or "buf", contains
+// "scratch", is the runtime's drain buffer "batch", or any field of a
+// struct whose type name contains "Scratch" (TransferScratch,
+// engineScratch). These are the engine-held buffers PR 2 introduced to
+// keep the hot path allocation-free; their contract is single-owner
+// reuse, so a reference escaping the owner aliases memory the next call
+// overwrites.
+func isScratchSelector(info *types.Info, sel *ast.SelectorExpr) bool {
+	f := fieldOf(info, sel)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	lower := strings.ToLower(name)
+	if strings.HasSuffix(lower, "buf") || strings.Contains(lower, "scratch") || name == "batch" {
+		return true
+	}
+	if owner := namedTypeName(info.TypeOf(sel.X)); strings.Contains(owner, "Scratch") {
+		return true
+	}
+	return false
+}
+
+// newScratchescape flags scratch buffers escaping their owner: returned
+// from a function (directly or resliced), captured by a `go` closure,
+// or stored into a package-level variable. Returning a scratch slice is
+// occasionally the documented API contract ("valid until the next
+// call") — those sites carry a //lint:ignore scratchescape directive
+// citing the contract; anything else is a latent aliasing bug of the
+// kind the PR 2 buffer reuse made possible.
+func newScratchescape() *Analyzer {
+	a := &Analyzer{
+		Name: "scratchescape",
+		Doc:  "flag engine-held scratch buffers escaping via returns, goroutines, or globals",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		walkStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) {
+			switch v := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range v.Results {
+					if sel, ok := unwrapSlice(res).(*ast.SelectorExpr); ok && isScratchSelector(info, sel) {
+						pass.Reportf(res.Pos(),
+							"scratch buffer %s escapes via return: the next reuse overwrites it under the caller", types.ExprString(sel))
+					}
+				}
+			case *ast.GoStmt:
+				lit, ok := v.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					sel, ok := m.(*ast.SelectorExpr)
+					if !ok || !isScratchSelector(info, sel) {
+						return true
+					}
+					if root := rootIdent(sel); root != nil && !declaredWithin(info, root, lit) {
+						pass.Reportf(sel.Pos(),
+							"scratch buffer %s captured by goroutine: it races with the owner's reuse", types.ExprString(sel))
+					}
+					return true
+				})
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(v.Rhs) {
+						continue
+					}
+					obj := info.ObjectOf(id)
+					if obj == nil || obj.Parent() == nil || obj.Parent() != pass.Pkg.Types.Scope() {
+						continue
+					}
+					if sel, ok := unwrapSlice(v.Rhs[i]).(*ast.SelectorExpr); ok && isScratchSelector(info, sel) {
+						pass.Reportf(v.Pos(),
+							"scratch buffer %s stored in package-level %s: it outlives the owner's reuse cycle", types.ExprString(sel), id.Name)
+					}
+				}
+			}
+		})
+	}
+	return a
+}
+
+// unwrapSlice strips reslicing and parens: st.buf[:n] -> st.buf.
+func unwrapSlice(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}

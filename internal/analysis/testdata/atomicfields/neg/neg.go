@@ -1,0 +1,25 @@
+// Negative cases: wrapper-typed fields (all access goes through the
+// atomic API) and fields that are plain-only or lock-protected.
+package neg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits atomic.Int64
+	mu   sync.Mutex
+	n    int64
+}
+
+func (c *counter) inc() {
+	c.hits.Add(1)
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) read() int64 {
+	return c.hits.Load() + c.n
+}

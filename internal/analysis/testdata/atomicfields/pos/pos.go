@@ -1,0 +1,17 @@
+// Positive case: a field touched by sync/atomic in one function and by
+// a plain load in another.
+package pos
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "field hits is accessed with sync/atomic elsewhere"
+}

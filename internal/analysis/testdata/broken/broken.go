@@ -1,0 +1,8 @@
+// Fixture for the typecheck-failure test: this package must not
+// typecheck, and the driver must turn that into a diagnostic, not a
+// panic.
+package broken
+
+func f() int {
+	return undefinedName
+}

@@ -1,0 +1,12 @@
+// Fixture for the suppression test: two identical violations, one
+// covered by a directive. Exactly one finding must survive.
+package ignore
+
+import "time"
+
+func stamps() (time.Time, time.Time) {
+	//lint:ignore nodeterminism fixture: suppressed on the line below
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}

@@ -1,0 +1,38 @@
+// Negative cases: the unlock-before-send discipline in its common
+// shapes — straight-line, early-return branches, and goroutine handoff.
+package neg
+
+import "sync"
+
+type conn struct{}
+
+func (conn) Send(int) {}
+
+type node struct {
+	mu sync.Mutex
+	c  conn
+}
+
+func (n *node) sendAfterUnlock() {
+	n.mu.Lock()
+	x := 1
+	n.mu.Unlock()
+	n.c.Send(x)
+}
+
+func (n *node) branchReturns(ok bool) {
+	n.mu.Lock()
+	if ok {
+		n.mu.Unlock()
+		n.c.Send(1)
+		return
+	}
+	n.mu.Unlock()
+}
+
+func (n *node) goroutineSend() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// The goroutine body runs after this function's locks are released.
+	go func() { n.c.Send(2) }()
+}

@@ -1,0 +1,27 @@
+// Positive cases: sends made while a same-function mutex is held.
+package pos
+
+import "sync"
+
+type conn struct{}
+
+func (conn) Send(int) {}
+
+type node struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	c  conn
+	ch chan int
+}
+
+func (n *node) sendHeld() {
+	n.mu.Lock()
+	n.c.Send(1) // want "message send while n.mu is held"
+	n.mu.Unlock()
+}
+
+func (n *node) deferHeld() {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	n.ch <- 5 // want "message send while n.rw is held"
+}

@@ -1,0 +1,10 @@
+// Fixture for the malformed-directive test: the reason is mandatory, so
+// the directive below is itself a finding and suppresses nothing.
+package malformed
+
+import "time"
+
+func stamp() time.Time {
+	//lint:ignore nodeterminism
+	return time.Now()
+}

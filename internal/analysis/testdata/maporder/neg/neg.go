@@ -1,0 +1,41 @@
+// Negative cases: the collect-then-sort idiom and order-insensitive
+// accumulation must not be flagged.
+package neg
+
+import (
+	"slices"
+	"sort"
+)
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func slicesSorted(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func intCount(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs) // integer addition is associative: order-insensitive
+	}
+	return n
+}
+
+func loopLocal(m map[string]float64) {
+	for _, v := range m {
+		double := v * 2 // declared inside the loop body
+		_ = double
+	}
+}

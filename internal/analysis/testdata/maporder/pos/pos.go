@@ -1,0 +1,36 @@
+// Positive cases: order-sensitive sinks fed from map iteration.
+package pos
+
+type sender struct{}
+
+func (sender) Send(int) {}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map m"
+	}
+	return out
+}
+
+func floatCompound(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total"
+	}
+	return total
+}
+
+func floatBinary(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total"
+	}
+	return total
+}
+
+func sendInRange(m map[int]int, s sender) {
+	for k := range m {
+		s.Send(k) // want "message send inside range over map m"
+	}
+}

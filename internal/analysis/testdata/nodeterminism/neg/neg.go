@@ -1,0 +1,17 @@
+// Negative cases: seeded private streams and clock-free time arithmetic
+// are the sanctioned idioms and must not be flagged.
+package neg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(42)) // constructor: builds a private stream
+	return rng.Float64()                // draw from the private stream
+}
+
+func durations(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond // duration arithmetic never reads the clock
+}

@@ -1,0 +1,19 @@
+// Positive cases: every wall-clock read and global rand draw below must
+// be flagged when the package is loaded under a protocol import path.
+package pos
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()                    // want "wall-clock read time.Now"
+	_ = time.Until(start.Add(time.Second)) // want "wall-clock read time.Until"
+	return time.Since(start)               // want "wall-clock read time.Since"
+}
+
+func dice() int {
+	rand.Shuffle(2, func(i, j int) {}) // want "global math/rand.Shuffle"
+	return rand.Intn(6)                // want "global math/rand.Intn"
+}

@@ -1,0 +1,27 @@
+// Negative cases: copying out of a scratch buffer, purely local use,
+// and returning a non-scratch field.
+package neg
+
+type state struct {
+	sendBuf []int
+	results []int
+}
+
+func (s *state) copyOut() []int {
+	out := make([]int, len(s.sendBuf))
+	copy(out, s.sendBuf)
+	return out
+}
+
+func (s *state) useLocally() int {
+	s.sendBuf = append(s.sendBuf[:0], 1, 2, 3)
+	n := 0
+	for _, v := range s.sendBuf {
+		n += v
+	}
+	return n
+}
+
+func (s *state) finalResults() []int {
+	return s.results
+}

@@ -1,0 +1,37 @@
+// Positive cases: scratch buffers escaping via returns, goroutine
+// captures, and package-level stores.
+package pos
+
+type state struct {
+	sendBuf []int
+	permBuf []int
+}
+
+type TransferScratch struct {
+	proposals []int
+}
+
+var leaked []int
+
+func (s *state) escapeReturn() []int {
+	s.sendBuf = s.sendBuf[:0]
+	return s.sendBuf // want "scratch buffer s.sendBuf escapes via return"
+}
+
+func (s *state) escapeReslice() []int {
+	return s.permBuf[:2] // want "scratch buffer s.permBuf escapes via return"
+}
+
+func (s *state) escapeGoroutine() {
+	go func() {
+		leaked = append(leaked, s.permBuf...) // want "scratch buffer s.permBuf captured by goroutine"
+	}()
+}
+
+func (s *state) escapeGlobal() {
+	leaked = s.sendBuf // want "scratch buffer s.sendBuf stored in package-level leaked"
+}
+
+func grab(ts *TransferScratch) []int {
+	return ts.proposals // want "scratch buffer ts.proposals escapes via return"
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses every file of the pass, invoking fn with each
+// node and the stack of its ancestors (outermost first, not including
+// the node itself).
+func walkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// pkgFunc reports whether call invokes a package-level function of the
+// package with import path pkgPath, returning its name. It resolves the
+// qualifier through the type info, so aliased imports are handled.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// methodOf returns the called method's *types.Func when call is a
+// method call, nil otherwise.
+func methodOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	fn, _ := s.Obj().(*types.Func)
+	return fn
+}
+
+// fieldOf resolves a selector expression to the struct field it
+// selects, or nil when it selects something else (method, package
+// member, …).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/slice
+// chain (x in x.f.g[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the object behind id was declared
+// inside the node span [from.Pos(), from.End()).
+func declaredWithin(info *types.Info, id *ast.Ident, from ast.Node) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= from.Pos() && obj.Pos() < from.End()
+}
+
+// namedTypeName returns the name of t's core named type after stripping
+// pointers, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// protocolPackage reports whether path is one of the protocol packages
+// whose determinism the nodeterminism analyzer guards. Matching is on
+// path segments relative to any module prefix, so synthetic testdata
+// paths like td/internal/core/x qualify too.
+func protocolPackage(path string) bool {
+	for _, p := range []string{
+		"internal/core",
+		"internal/lb",
+		"internal/amt",
+		"internal/comm",
+		"internal/termination",
+	} {
+		i := strings.Index(path, p)
+		if i < 0 {
+			continue
+		}
+		if i > 0 && path[i-1] != '/' {
+			continue
+		}
+		rest := path[i+len(p):]
+		if rest == "" || rest[0] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// sendMethodNames are the method names the maporder and lockdiscipline
+// analyzers treat as message sends: the transport's and the runtime's
+// outbound calls.
+var sendMethodNames = map[string]bool{
+	"Send":       true,
+	"SendObject": true,
+	"Broadcast":  true,
+}
+
+// isSendCall reports whether n is a message send: a channel send
+// statement or a call to a send-named method.
+func isSendCall(info *types.Info, n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sendMethodNames[sel.Sel.Name] {
+			// Method call (not a package-qualified function).
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package clock is the single sanctioned wall-clock access point for
+// the protocol packages (core, lb, amt, comm, termination).
+//
+// The repo's determinism contract (DESIGN.md §5/§7/§8) requires that
+// protocol outcomes — gossip knowledge, transfer decisions, collective
+// results, everything compared by the faulted-equals-fault-free tests —
+// never depend on when the wall clock says they happened. Wall-clock
+// reads are still legitimate for two purposes:
+//
+//   - observability: stamping trace spans and filling ElapsedSeconds
+//     statistics, which describe a run without influencing it;
+//   - pacing: retransmission deadlines and timed receive waits, which
+//     decide WHEN a recovery action fires but never WHAT the protocol
+//     computes (exactly-once delivery makes retry timing invisible to
+//     results).
+//
+// Routing every such read through this package keeps them explicit and
+// auditable: `lbvet`'s nodeterminism analyzer forbids direct time.Now,
+// time.Since and time.Until calls inside the protocol packages, so a
+// future wall-clock read must either come through here — where review
+// can check it against the two sanctioned purposes — or be flagged.
+package clock
+
+import "time"
+
+// Now returns the current wall-clock time. Protocol code may use the
+// value for observability stamps and retry deadlines only; it must never
+// influence protocol results.
+func Now() time.Time { return time.Now() }
+
+// Since returns the time elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Until returns the duration until t; negative when t is in the past.
+func Until(t time.Time) time.Duration { return time.Until(t) }

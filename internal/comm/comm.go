@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"temperedlb/internal/clock"
 )
 
 // Kind discriminates message classes at the transport level so the
@@ -378,7 +380,7 @@ func (ib *inbox) popWait() (Message, bool) {
 // stale callback from a Stop that lost the race merely causes one
 // spurious re-check of the loop condition.
 func (ib *inbox) popWaitTimeout(d time.Duration) (Message, bool, bool) {
-	deadline := time.Now().Add(d)
+	deadline := clock.Now().Add(d)
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	if ib.timer == nil {
@@ -398,7 +400,7 @@ func (ib *inbox) popWaitTimeout(d time.Duration) (Message, bool, bool) {
 		if ib.closed {
 			return Message{}, false, false
 		}
-		if !time.Now().Before(deadline) {
+		if !clock.Now().Before(deadline) {
 			return Message{}, false, true
 		}
 		ib.cond.Wait()

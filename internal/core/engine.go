@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
+	"temperedlb/internal/clock"
 	"temperedlb/internal/obs"
 )
 
@@ -127,7 +127,7 @@ type engineScratch struct {
 	states      []*InformState
 	transferRNG []*rand.Rand
 	orderRNG    *rand.Rand
-	dropRNG     *rand.Rand // gossip-loss dice, used only when cfg.GossipDrop > 0
+	dropRNG     *rand.Rand  // gossip-loss dice, used only when cfg.GossipDrop > 0
 	work        *Assignment // working distribution, reset per trial
 	queue       []Send      // gossip delivery queue, truncated per iteration
 	order       []int       // rank traversal permutation
@@ -225,7 +225,7 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 
 		for iter := 1; iter <= e.cfg.Iterations; iter++ {
 			st := IterationStats{Trial: trial, Iteration: iter}
-			iterStart := time.Now()
+			iterStart := clock.Now()
 			if tr != nil {
 				tr.Emit(obs.Event{Type: obs.EvIterBegin, Peer: -1, Object: -1,
 					Trial: trial, Iteration: iter})
@@ -240,11 +240,11 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 			e.transferPass(work, ave, g, &st)
 
 			st.Imbalance = work.Imbalance() // Algorithm 3 line 9
-			st.ElapsedSeconds = time.Since(iterStart).Seconds()
+			st.ElapsedSeconds = clock.Since(iterStart).Seconds()
 			if tr != nil {
 				tr.Emit(obs.Event{Type: obs.EvIterEnd, Peer: -1, Object: -1,
 					Trial: trial, Iteration: iter, Value: st.Imbalance,
-					Dur: time.Since(iterStart)})
+					Dur: clock.Since(iterStart)})
 			}
 			res.History = append(res.History, st)
 			if st.Imbalance < res.FinalImbalance { // line 10: keep the best

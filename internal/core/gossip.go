@@ -146,6 +146,7 @@ func (st *InformState) fanOut(round int) []Send {
 		}
 		st.sendBuf = append(st.sendBuf, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
 	}
+	//lint:ignore scratchescape documented contract: the slice is valid until the next fanOut call
 	return st.sendBuf
 }
 
@@ -164,6 +165,7 @@ func (st *InformState) fanOutAvoidKnown(round int) []Send {
 		t := st.sampleUnknown()
 		st.sendBuf = append(st.sendBuf, Send{To: t, Msg: InformMsg{Round: round, Entries: entries}})
 	}
+	//lint:ignore scratchescape documented contract: the slice is valid until the next fanOut call
 	return st.sendBuf
 }
 

@@ -3,9 +3,9 @@ package tempered
 import (
 	"math"
 	"slices"
-	"time"
 
 	"temperedlb/internal/amt"
+	"temperedlb/internal/clock"
 	"temperedlb/internal/core"
 	"temperedlb/internal/obs"
 )
@@ -160,7 +160,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	self := rc.Rank()
 	n := rc.NumRanks()
 	st := h.st[self]
-	start := time.Now()
+	start := clock.Now()
 	tr := rc.Tracer()
 
 	// The whole gossip prologue is one fused collective round: the load
@@ -180,9 +180,9 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	if total == 0 {
 		if tr != nil {
 			rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
-				Value: res.FinalImbalance, Dur: time.Since(start)})
+				Value: res.FinalImbalance, Dur: clock.Since(start)})
 		}
-		res.ElapsedSeconds = time.Since(start).Seconds()
+		res.ElapsedSeconds = clock.Since(start).Seconds()
 		return res, nil
 	}
 
@@ -200,7 +200,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 		st.inform = core.NewInformState(self, n, &cfg, gossipRNG)
 
 		for iter := 1; iter <= cfg.Iterations; iter++ {
-			iterStart := time.Now()
+			iterStart := clock.Now()
 			st.trial, st.iter = trial, iter
 			st.gossipSent, st.gossipEntries = 0, 0
 			if tr != nil {
@@ -281,7 +281,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				overloaded, overloaded * knowledge,
 			}, amt.ReduceSum)
 			maxes := rc.AllReduceVec([]float64{
-				st.sumLoad(st.virtual), negKnow, time.Since(iterStart).Seconds(),
+				st.sumLoad(st.virtual), negKnow, clock.Since(iterStart).Seconds(),
 			}, amt.ReduceMax)
 
 			iterStat := core.IterationStats{
@@ -301,7 +301,7 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 			if tr != nil {
 				rc.Emit(obs.Event{Type: obs.EvIterEnd, Peer: -1, Object: -1,
 					Trial: trial, Iteration: iter, Value: iterStat.Imbalance,
-					Dur: time.Since(iterStart)})
+					Dur: clock.Since(iterStart)})
 			}
 			if iterStat.Imbalance < res.FinalImbalance {
 				res.FinalImbalance = iterStat.Imbalance
@@ -317,18 +317,25 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	// in-flight races, and the epoch ends only after every migration and
 	// location update has landed.
 	rc.Epoch(func() {
+		// Fetch in sorted object order so the commit traffic is identical
+		// run to run; the trials are over, so idsBuf is free to reuse.
+		st.idsBuf = st.idsBuf[:0]
 		for obj := range best {
 			if !rc.HasObject(obj) {
-				rc.SendObject(obj, h.fetch, self)
+				st.idsBuf = append(st.idsBuf, obj)
 			}
+		}
+		slices.Sort(st.idsBuf)
+		for _, obj := range st.idsBuf {
+			rc.SendObject(obj, h.fetch, self)
 		}
 	})
 	res.Migrations = rc.Stats.Migrations - migBefore
 	res.MigrationBytes = rc.Stats.MigrationBytes - bytesBefore
-	res.ElapsedSeconds = time.Since(start).Seconds()
+	res.ElapsedSeconds = clock.Since(start).Seconds()
 	if tr != nil {
 		rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
-			Value: res.FinalImbalance, Dur: time.Since(start)})
+			Value: res.FinalImbalance, Dur: clock.Since(start)})
 	}
 	return res, nil
 }
@@ -342,12 +349,13 @@ func (st *rankState) virtualTasks() ([]core.Task, []amt.ObjectID) {
 	for obj := range st.virtual {
 		st.idsBuf = append(st.idsBuf, obj)
 	}
+	slices.Sort(st.idsBuf)
 	ids := st.idsBuf
-	slices.Sort(ids)
 	st.tasksBuf = st.tasksBuf[:0]
 	for i, obj := range ids {
 		st.tasksBuf = append(st.tasksBuf, core.Task{ID: core.TaskID(i), Load: st.virtual[obj]})
 	}
+	//lint:ignore scratchescape documented contract: both slices are valid until the next call
 	return st.tasksBuf, ids
 }
 

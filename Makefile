@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos storm check bench bench-json bench-compare
+.PHONY: build test vet lint race chaos storm obs-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,11 +38,18 @@ chaos:
 storm:
 	$(GO) test -race -count=1 -run 'TestChaosTreeCollectiveStorm1024$$' ./internal/amt/
 
+# Observability smoke: record frames from a short distributed run on
+# the real runtime, replay them through the lbtop renderer, and assert
+# the layout golden (internal/dash/testdata/obs_smoke.golden). Rerun
+# with -update-golden after intentional schema or layout changes.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmoke|TestRenderGolden' ./internal/dash/
+
 # The CI gate: static analysis (go vet and the project's lbvet
 # analyzers), the race-enabled suite, the chaos suite (which includes
-# the storm), and the benchmark regression diff against the committed
-# trajectory.
-check: vet lint race chaos bench-compare
+# the storm), the observability smoke, and the benchmark regression
+# diff against the committed trajectory.
+check: vet lint race chaos obs-smoke bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -39,7 +40,8 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the virtual per-step timeline as Chrome trace_event JSON to this file (one track per configuration; open in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write per-configuration summary metrics in Prometheus text format to this file")
 		workers    = flag.Int("workers", 0, "concurrent tracker goroutines per step (0 = GOMAXPROCS, 1 = serial); output is identical at any worker count")
-		faults     = flag.String("faults", "", "simulate lossy gossip in the distributed balancers, e.g. \"drop=0.05\" (drop= only)")
+		faults     = flag.String("faults", "", "inject gossip transport faults in the simulated balancers, e.g. \"seed=7,drop=0.05,dup=0.02,delay=5ms,slow=3:2ms\" (retry knobs are distributed-only no-ops)")
+		serveAddr  = flag.String("serve", "", "serve live observability HTTP on this address: every tracker publishes one frame per simulated step (watch with lbtop -url)")
 	)
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func main() {
 		stride = *every
 	}
 
-	drop := engineGossipDrop(*faults)
+	applyFaults := engineFaults(*faults)
 	tweak := func(c core.Config) core.Config {
 		if *trials > 0 {
 			c.Trials = *trials
@@ -71,8 +73,7 @@ func main() {
 		if *rounds > 0 {
 			c.Rounds = *rounds
 		}
-		c.GossipDrop = drop
-		return c
+		return applyFaults(c)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -88,10 +89,27 @@ func main() {
 		return
 	}
 
+	var stream *obs.Stream
+	if *serveAddr != "" {
+		stream = obs.NewStream(obs.DefaultStreamCapacity)
+		srv, bound, err := obs.StartServer(*serveAddr, stream, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving observability on http://%s (attach with: lbtop -url http://%s)", bound, bound)
+	}
+	attachStream := func(trackers []*sim.Tracker) {
+		for _, t := range trackers {
+			t.Stream = stream
+		}
+	}
+
 	var allTrackers []*sim.Tracker
 
 	if want("fig2") || want("fig3") || want("fig4a") || want("fig4b") || want("fig4c") {
 		trackers := sim.StandardTrackers(tweak)
+		attachStream(trackers)
 		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d configurations at %dx%d ranks, %d steps ...",
 			len(trackers), cfg.RanksX, cfg.RanksY, cfg.Steps)
@@ -135,6 +153,7 @@ func main() {
 	}
 	if want("fig4d") {
 		trackers := sim.OrderingTrackers(tweak)
+		attachStream(trackers)
 		allTrackers = append(allTrackers, trackers...)
 		log.Printf("running %d ordering configurations ...", len(trackers))
 		if _, err := sim.RunTrackersWith(cfg, trackers, *workers); err != nil {
@@ -159,25 +178,41 @@ func main() {
 		})
 		log.Printf("wrote metrics to %s", *metricsOut)
 	}
+	if *serveAddr != "" {
+		log.Print("run finished; still serving recorded frames (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 }
 
-// engineGossipDrop parses a -faults directive for the engine-driven
-// simulation. The synchronous engine simulates only the gossip stage's
-// transport, so it can model loss there and nothing else; any richer
-// directive needs the distributed runtime (lbplay -distributed -faults).
-func engineGossipDrop(faults string) float64 {
+// engineFaults parses a -faults directive for the engine-driven
+// simulation and returns its mapping onto a configuration. The full
+// grammar applies to the gossip stage — the one transport the
+// synchronous engine simulates: drop= keeps the legacy seeded-loss
+// path, while dup=/delay=/delaymin=/slow=/seed= switch delivery to the
+// virtual-time fault queue. The retry knobs have no engine counterpart
+// and are accepted as no-ops for spec compatibility.
+func engineFaults(faults string) func(core.Config) core.Config {
 	if faults == "" {
-		return 0
+		return func(c core.Config) core.Config { return c }
 	}
 	sp, err := comm.ParseFaultSpec(faults)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if sp.Dup != 0 || sp.DelayMin != 0 || sp.DelayMax != 0 || len(sp.SlowRanks) > 0 ||
-		sp.RetryBase != 0 || sp.RetryCap != 0 || sp.Seed != 0 {
-		log.Fatal("engine experiments support drop= only: the synchronous engine seeds gossip loss from -seed; dup/delay/slow/retry need the distributed runtime (lbplay -distributed -faults)")
+	if sp.RetryBase != 0 || sp.RetryCap != 0 {
+		log.Print("note: retry=/retrycap= tune the distributed runtime's reliability layer; the engine's gossip queue has none, ignoring them")
 	}
-	return sp.Drop
+	return func(c core.Config) core.Config {
+		c.GossipDrop = sp.Drop
+		c.GossipDup = sp.Dup
+		c.GossipDelayMin = sp.DelayMin
+		c.GossipDelayMax = sp.DelayMax
+		c.GossipSlowRanks = sp.SlowRanks
+		c.GossipFaultSeed = sp.Seed
+		return c
+	}
 }
 
 // virtualTimeline converts each tracker's per-step series into trace
@@ -219,19 +254,25 @@ func virtualTimeline(trackers []*sim.Tracker) ([]obs.Event, map[int]string) {
 // registry labelled by configuration name.
 func trackerMetrics(trackers []*sim.Tracker) *obs.Metrics {
 	m := obs.NewMetrics()
+	m.SetHelp("empire_lb_invocations_total", "Load balancer invocations, by configuration.")
+	m.SetHelp("empire_lb_messages_total", "Balancer algorithm messages, by configuration.")
+	m.SetHelp("empire_lb_moved_tasks_total", "Tasks migrated by the balancer, by configuration.")
+	m.SetHelp("empire_lb_moved_load", "Load units migrated by the balancer, by configuration.")
+	m.SetHelp("empire_total_step_seconds", "Total modeled step time in virtual seconds.")
+	m.SetHelp("empire_imbalance_final", "Imbalance I after the final timestep.")
 	for _, t := range trackers {
 		label := metricLabel(t.Name)
-		m.Counter(fmt.Sprintf("empire_lb_invocations_total{config=%q}", label)).Add(int64(t.LBStats.Invocations))
-		m.Counter(fmt.Sprintf("empire_lb_messages_total{config=%q}", label)).Add(int64(t.LBStats.Messages))
-		m.Counter(fmt.Sprintf("empire_lb_moved_tasks_total{config=%q}", label)).Add(int64(t.LBStats.MovedTasks))
-		m.Gauge(fmt.Sprintf("empire_lb_moved_load{config=%q}", label)).Set(t.LBStats.MovedLoad)
+		m.Counter(obs.LabeledName("empire_lb_invocations_total", "config", label)).Add(int64(t.LBStats.Invocations))
+		m.Counter(obs.LabeledName("empire_lb_messages_total", "config", label)).Add(int64(t.LBStats.Messages))
+		m.Counter(obs.LabeledName("empire_lb_moved_tasks_total", "config", label)).Add(int64(t.LBStats.MovedTasks))
+		m.Gauge(obs.LabeledName("empire_lb_moved_load", "config", label)).Set(t.LBStats.MovedLoad)
 		total := 0.0
 		for _, st := range t.Series.StepTime {
 			total += st
 		}
-		m.Gauge(fmt.Sprintf("empire_total_step_seconds{config=%q}", label)).Set(total)
+		m.Gauge(obs.LabeledName("empire_total_step_seconds", "config", label)).Set(total)
 		if n := len(t.Series.Imbalance); n > 0 {
-			m.Gauge(fmt.Sprintf("empire_imbalance_final{config=%q}", label)).Set(t.Series.Imbalance[n-1])
+			m.Gauge(obs.LabeledName("empire_imbalance_final", "config", label)).Set(t.Series.Imbalance[n-1])
 		}
 	}
 	return m

@@ -18,23 +18,34 @@ import (
 	"temperedlb/internal/workload"
 )
 
-// engineGossipDrop parses a -faults directive for the engine-driven
-// experiments. The synchronous engine simulates only the gossip stage's
-// transport, so it can model loss there and nothing else; any richer
-// directive needs the distributed runtime (lbplay -distributed -faults).
-func engineGossipDrop(faults string) float64 {
+// engineFaults parses a -faults directive for the engine-driven
+// experiments and returns its mapping onto a configuration. The full
+// grammar applies to the gossip stage — the one transport the
+// synchronous engine simulates: drop= keeps the legacy seeded-loss
+// path, while dup=/delay=/delaymin=/slow=/seed= switch delivery to the
+// virtual-time fault queue. The retry knobs have no engine counterpart
+// (the queue never loses a message except by explicit drop) and are
+// accepted as no-ops for spec compatibility with the distributed tools.
+func engineFaults(faults string) func(core.Config) core.Config {
 	if faults == "" {
-		return 0
+		return func(c core.Config) core.Config { return c }
 	}
 	sp, err := comm.ParseFaultSpec(faults)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if sp.Dup != 0 || sp.DelayMin != 0 || sp.DelayMax != 0 || len(sp.SlowRanks) > 0 ||
-		sp.RetryBase != 0 || sp.RetryCap != 0 || sp.Seed != 0 {
-		log.Fatal("engine experiments support drop= only: the synchronous engine seeds gossip loss from -seed; dup/delay/slow/retry need the distributed runtime (lbplay -distributed -faults)")
+	if sp.RetryBase != 0 || sp.RetryCap != 0 {
+		log.Print("note: retry=/retrycap= tune the distributed runtime's reliability layer; the engine's gossip queue has none, ignoring them")
 	}
-	return sp.Drop
+	return func(c core.Config) core.Config {
+		c.GossipDrop = sp.Drop
+		c.GossipDup = sp.Dup
+		c.GossipDelayMin = sp.DelayMin
+		c.GossipDelayMax = sp.DelayMax
+		c.GossipSlowRanks = sp.SlowRanks
+		c.GossipFaultSeed = sp.Seed
+		return c
+	}
 }
 
 func main() {
@@ -55,7 +66,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the engine's lb.run/lb.iteration spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write the experiment's table columns as Prometheus text metrics to this file")
 		workers    = flag.Int("workers", 1, "concurrent engine runs for compare/sweep experiments (0 = GOMAXPROCS); output is identical at any worker count")
-		faults     = flag.String("faults", "", "simulate lossy gossip, e.g. \"drop=0.05\" (engine experiments support drop= only)")
+		faults     = flag.String("faults", "", "inject gossip transport faults, e.g. \"seed=7,drop=0.05,dup=0.02,delay=5ms,slow=3:2ms\" (retry knobs are distributed-only no-ops)")
 	)
 	flag.Parse()
 
@@ -101,7 +112,7 @@ func main() {
 	base.Fanout = *fanout
 	base.Threshold = *thresh
 	base.Seed = *seed
-	base.GossipDrop = engineGossipDrop(*faults)
+	base = engineFaults(*faults)(base)
 	if rec != nil {
 		base.Tracer = rec
 	}
@@ -185,6 +196,12 @@ func main() {
 // mapping), labelled by the table title.
 func tableMetrics(tables []lbaf.Table) *obs.Metrics {
 	m := obs.NewMetrics()
+	m.SetHelp("lb_transfers_total", "Accepted transfer decisions, by experiment table.")
+	m.SetHelp("lb_transfers_rejected_total", "Rejected transfer decisions, by experiment table.")
+	m.SetHelp("lb_gossip_messages_total", "Gossip messages delivered, by experiment table.")
+	m.SetHelp("lb_gossip_entries_total", "Gossip payload entries delivered, by experiment table.")
+	m.SetHelp("lb_imbalance_initial", "Imbalance I before refinement.")
+	m.SetHelp("lb_imbalance_final", "Imbalance I after the last iteration.")
 	for _, t := range tables {
 		label := metricLabel(t.Title)
 		transfers, rejected := 0, 0
@@ -192,13 +209,13 @@ func tableMetrics(tables []lbaf.Table) *obs.Metrics {
 			transfers += row.Transfers
 			rejected += row.Rejected
 		}
-		m.Counter(fmt.Sprintf("lb_transfers_total{table=%q}", label)).Add(int64(transfers))
-		m.Counter(fmt.Sprintf("lb_transfers_rejected_total{table=%q}", label)).Add(int64(rejected))
-		m.Counter(fmt.Sprintf("lb_gossip_messages_total{table=%q}", label)).Add(int64(t.GossipMessages))
-		m.Counter(fmt.Sprintf("lb_gossip_entries_total{table=%q}", label)).Add(int64(t.GossipEntries))
-		m.Gauge(fmt.Sprintf("lb_imbalance_initial{table=%q}", label)).Set(t.InitialImbalance)
+		m.Counter(obs.LabeledName("lb_transfers_total", "table", label)).Add(int64(transfers))
+		m.Counter(obs.LabeledName("lb_transfers_rejected_total", "table", label)).Add(int64(rejected))
+		m.Counter(obs.LabeledName("lb_gossip_messages_total", "table", label)).Add(int64(t.GossipMessages))
+		m.Counter(obs.LabeledName("lb_gossip_entries_total", "table", label)).Add(int64(t.GossipEntries))
+		m.Gauge(obs.LabeledName("lb_imbalance_initial", "table", label)).Set(t.InitialImbalance)
 		if n := len(t.Rows); n > 0 {
-			m.Gauge(fmt.Sprintf("lb_imbalance_final{table=%q}", label)).Set(t.Rows[n-1].Imbalance)
+			m.Gauge(obs.LabeledName("lb_imbalance_final", "table", label)).Set(t.Rows[n-1].Imbalance)
 		}
 	}
 	return m

@@ -10,6 +10,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"temperedlb"
 )
@@ -31,6 +32,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write runtime metrics in Prometheus text format to this file (-distributed only)")
 		faults     = flag.String("faults", "", "inject transport faults, e.g. \"seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms\" (-distributed only)")
 		fanout     = flag.Int("fanout", 4, "arity of the runtime's collective reduction tree (-distributed only)")
+		serveAddr  = flag.String("serve", "", "serve live observability HTTP on this address (NDJSON /stream, /metrics, /debug/pprof/) and keep serving after the run until interrupted (-distributed only)")
+		framesOut  = flag.String("frames", "", "write the run's frame ring as NDJSON to this file for lbtop -replay (-distributed only)")
 	)
 	flag.Parse()
 
@@ -70,14 +73,17 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(a, *seed, *traceOut, *metricsOut, *faults, *fanout)
+		runDistributed(a, *seed, *traceOut, *metricsOut, *faults, *fanout, *serveAddr, *framesOut)
 		return
 	}
 	if *metricsOut != "" {
 		log.Fatal("-metrics needs the runtime's registry; combine it with -distributed")
 	}
 	if *faults != "" {
-		log.Fatal("-faults injects transport faults; combine it with -distributed (engine strategies take cfg.GossipDrop instead)")
+		log.Fatal("-faults injects transport faults; combine it with -distributed (engine strategies take the -faults grammar via lbaf/empire instead)")
+	}
+	if *serveAddr != "" || *framesOut != "" {
+		log.Fatal("-serve and -frames stream the runtime's frames; combine them with -distributed")
 	}
 
 	var rec *temperedlb.TraceRecorder
@@ -148,7 +154,7 @@ func writeExport(path string, write func(io.Writer) error) {
 // runDistributed scatters equivalent synthetic objects over a real AMT
 // runtime and executes the distributed protocol, optionally with the
 // observability stack attached.
-func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string, fanout int) {
+func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string, fanout int, serveAddr, framesPath string) {
 	n := a.NumRanks()
 	opts := []temperedlb.RuntimeOption{temperedlb.WithFanout(fanout)}
 	var rec *temperedlb.TraceRecorder
@@ -156,10 +162,23 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 		rec = temperedlb.NewTraceRecorder()
 		opts = append(opts, temperedlb.WithTracer(rec))
 	}
-	if metricsPath != "" {
+	if metricsPath != "" || serveAddr != "" {
 		opts = append(opts, temperedlb.WithMetrics())
 	}
+	var stream *temperedlb.Stream
+	if serveAddr != "" || framesPath != "" {
+		stream = temperedlb.NewStream(0)
+		opts = append(opts, temperedlb.WithStream(stream))
+	}
 	rt := temperedlb.NewRuntime(n, opts...)
+	if serveAddr != "" {
+		srv, bound, err := temperedlb.ServeObservability(serveAddr, stream, rt.Metrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving observability on http://%s (attach with: lbtop -url http://%s)", bound, bound)
+	}
 	var faultSpec temperedlb.FaultSpec
 	if faults != "" {
 		sp, err := temperedlb.ParseFaultSpec(faults)
@@ -221,5 +240,19 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 			return temperedlb.WritePrometheus(w, rt.Metrics())
 		})
 		log.Printf("wrote metrics to %s", metricsPath)
+	}
+	if framesPath != "" {
+		frames := stream.Frames()
+		writeExport(framesPath, func(w io.Writer) error {
+			return temperedlb.WriteSnapshots(w, frames)
+		})
+		log.Printf("wrote %d frames to %s (replay with: lbtop -replay %s)",
+			len(frames), framesPath, framesPath)
+	}
+	if serveAddr != "" {
+		log.Print("run finished; still serving (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }

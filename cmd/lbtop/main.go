@@ -1,0 +1,152 @@
+// Command lbtop is a terminal dashboard for the observability stream:
+// it follows a -serve endpoint's NDJSON frame stream (or replays a
+// recorded frame file) and redraws per-rank loads, the imbalance
+// sparkline, message rates and fault counters in place. All layout
+// lives in internal/dash as a pure function, so everything below is
+// transport and cursor control.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"temperedlb/internal/dash"
+	"temperedlb/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbtop: ")
+	var (
+		url     = flag.String("url", "", "base URL of a -serve endpoint, e.g. http://localhost:6060")
+		replay  = flag.String("replay", "", "render a recorded NDJSON frame file instead of connecting")
+		once    = flag.Bool("once", false, "render a single page and exit (no screen clearing)")
+		refresh = flag.Duration("refresh", 250*time.Millisecond, "minimum interval between redraws")
+		width   = flag.Int("width", dash.DefaultWidth, "dashboard line width")
+		ascii   = flag.Bool("ascii", false, "restrict the intensity ramps to ASCII")
+		window  = flag.Int("window", 64, "frames kept for the sparkline window")
+		source  = flag.String("source", "", "only render frames from this source (useful when several trackers share a stream)")
+	)
+	flag.Parse()
+	if (*url == "") == (*replay == "") {
+		log.Fatal("exactly one of -url or -replay is required")
+	}
+	model := dash.Model{Width: *width, ASCII: *ascii}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames, err := obs.ReadSnapshots(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Frames = clipWindow(filterSource(frames, *source), *window)
+		printPage(dash.Render(model), false)
+		return
+	}
+
+	base := strings.TrimSuffix(*url, "/")
+	if *once {
+		resp, err := http.Get(base + "/frames")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		frames, err := obs.ReadSnapshots(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Frames = clipWindow(filterSource(frames, *source), *window)
+		printPage(dash.Render(model), false)
+		return
+	}
+
+	resp, err := http.Get(base + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s/stream: %s", base, resp.Status)
+	}
+	follow(resp.Body, model, *source, *window, *refresh)
+}
+
+// follow consumes the endless NDJSON stream, redrawing at most once per
+// refresh interval; the final state is drawn when the server goes away.
+func follow(r io.Reader, model dash.Model, source string, window int, refresh time.Duration) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lastDraw := time.Time{}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var f obs.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			log.Fatalf("malformed frame: %v", err)
+		}
+		if source != "" && f.Source != source {
+			continue
+		}
+		model.Frames = clipWindow(append(model.Frames, f), window)
+		if time.Since(lastDraw) >= refresh {
+			printPage(dash.Render(model), true)
+			lastDraw = time.Now()
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	if len(model.Frames) > 0 {
+		printPage(dash.Render(model), true)
+	}
+	log.Print("stream closed")
+}
+
+// filterSource keeps only frames from the named source ("" keeps all).
+func filterSource(frames []obs.Snapshot, source string) []obs.Snapshot {
+	if source == "" {
+		return frames
+	}
+	out := frames[:0:0]
+	for _, f := range frames {
+		if f.Source == source {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// clipWindow keeps the newest n frames.
+func clipWindow(frames []obs.Snapshot, n int) []obs.Snapshot {
+	if n > 0 && len(frames) > n {
+		frames = frames[len(frames)-n:]
+	}
+	return frames
+}
+
+// printPage writes one dashboard page; with clear it homes the cursor
+// and erases below first, so successive pages redraw in place.
+func printPage(lines []string, clear bool) {
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[J")
+	}
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}

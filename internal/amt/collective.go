@@ -98,6 +98,7 @@ func (rc *Context) collStart(name string) func() {
 func (rc *Context) treeCollective(name string, in []float64, op ReduceOp, ops []ReduceOp) []float64 {
 	defer rc.collStart(name)()
 	rc.collSeq++
+	rc.Stats.Collectives++
 	seq := rc.collSeq
 
 	acc := append([]float64(nil), in...)

@@ -126,6 +126,7 @@ type ContextStats struct {
 	Migrations     int
 	MigrationBytes int
 	EpochsRun      int
+	Collectives    int
 }
 
 func newContext(rt *Runtime, rank core.Rank) *Context {
@@ -186,6 +187,24 @@ func (rc *Context) Tracer() obs.Tracer { return rc.tr }
 // Use at setup time to resolve instrument handles; do not call per
 // event.
 func (rc *Context) Metrics() *obs.Metrics { return rc.rt.metrics }
+
+// Stream returns the runtime's observability stream, nil when streaming
+// is disabled. Protocol loops publish periodic Snapshot frames to it;
+// guard each publishing block with one nil check.
+func (rc *Context) Stream() *obs.Stream { return rc.rt.stream }
+
+// TransportTotals returns the transport's cumulative message and
+// payload-byte counts across all kinds (bytes are zero unless byte
+// accounting is on — metrics or streaming enabled). Safe to call during
+// Run; the totals are monotone atomics.
+func (rc *Context) TransportTotals() (msgs, bytes int64) {
+	return rc.rt.nw.TotalSent(), rc.rt.nw.TotalBytes()
+}
+
+// FaultTotals returns the runtime's cumulative fault-injection and
+// recovery counters (all zero without a fault plan). Safe to call
+// during Run.
+func (rc *Context) FaultTotals() FaultStats { return rc.rt.FaultStats() }
 
 // Emit stamps the event with this context's rank and forwards it to the
 // tracer; a no-op when tracing is disabled.

@@ -48,6 +48,7 @@ type Runtime struct {
 	tracer  obs.Tracer
 	metrics *obs.Metrics
 	ins     *instruments
+	stream  *obs.Stream
 }
 
 // instruments caches the resolved metric handles so the instrumented
@@ -87,6 +88,11 @@ func WithMetrics() Option {
 // WithFanout sets the arity of the collective tree (see SetFanout).
 func WithFanout(k int) Option {
 	return func(rt *Runtime) { rt.SetFanout(k) }
+}
+
+// WithStream attaches a live observability stream (see SetStream).
+func WithStream(s *obs.Stream) Option {
+	return func(rt *Runtime) { rt.SetStream(s) }
 }
 
 // DefaultFanout is the arity of the collective tree when none is
@@ -157,6 +163,27 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 		retries:        m.Counter("amt_retries_total"),
 		dupDrops:       m.Counter("amt_duplicates_dropped_total"),
 	}
+	for fam, help := range map[string]string{
+		"amt_handler_invocations_total":  "Active-message handler invocations.",
+		"amt_handler_seconds":            "Handler execution time in seconds.",
+		"amt_epochs_total":               "Epochs run under termination detection.",
+		"amt_epoch_seconds":              "Epoch wall-clock duration in seconds.",
+		"termination_token_rounds_total": "Safra termination-token rounds.",
+		"amt_migrations_total":           "Objects migrated between ranks.",
+		"amt_migration_bytes_total":      "Payload bytes carried by migrations.",
+		"amt_collectives_total":          "Tree-collective rounds completed.",
+		"amt_collective_messages_total":  "Messages sent by tree collectives.",
+		"amt_retries_total":              "Retransmissions of unacknowledged epoch sends.",
+		"amt_duplicates_dropped_total":   "Receiver-side discards of redundant deliveries.",
+		"comm_messages_total":            "Transport messages sent, by kind.",
+		"comm_bytes_total":               "Transport payload bytes sent, by kind.",
+		"comm_dropped_total":             "Messages dropped by fault injection, by kind.",
+		"comm_duplicated_total":          "Messages duplicated by fault injection, by kind.",
+		"comm_messages_all_total":        "Transport messages sent, all kinds.",
+		"comm_bytes_all_total":           "Transport payload bytes sent, all kinds.",
+	} {
+		m.SetHelp(fam, help)
+	}
 	rt.metrics = m
 	rt.nw.EnableByteAccounting()
 	return m
@@ -183,22 +210,39 @@ func (rt *Runtime) Metrics() *obs.Metrics {
 		msgs += sent
 		bytes += b
 		if sent > 0 {
-			rt.metrics.Counter(fmt.Sprintf("comm_messages_total{kind=%q}", name)).Store(sent)
+			rt.metrics.Counter(obs.LabeledName("comm_messages_total", "kind", name)).Store(sent)
 		}
 		if b > 0 {
-			rt.metrics.Counter(fmt.Sprintf("comm_bytes_total{kind=%q}", name)).Store(b)
+			rt.metrics.Counter(obs.LabeledName("comm_bytes_total", "kind", name)).Store(b)
 		}
 		if d := rt.nw.DroppedByKind(comm.Kind(k)); d > 0 {
-			rt.metrics.Counter(fmt.Sprintf("comm_dropped_total{kind=%q}", name)).Store(d)
+			rt.metrics.Counter(obs.LabeledName("comm_dropped_total", "kind", name)).Store(d)
 		}
 		if d := rt.nw.DuplicatedByKind(comm.Kind(k)); d > 0 {
-			rt.metrics.Counter(fmt.Sprintf("comm_duplicated_total{kind=%q}", name)).Store(d)
+			rt.metrics.Counter(obs.LabeledName("comm_duplicated_total", "kind", name)).Store(d)
 		}
 	}
 	rt.metrics.Counter("comm_messages_all_total").Store(msgs)
 	rt.metrics.Counter("comm_bytes_all_total").Store(bytes)
 	return rt.metrics
 }
+
+// SetStream attaches a live observability stream: protocol loops built
+// on the runtime (the distributed balancer) publish periodic Snapshot
+// frames to it, and transport byte accounting is switched on so the
+// frames can carry byte totals. A nil stream — the default — costs the
+// publishing sites a single pointer comparison. Call before Run.
+func (rt *Runtime) SetStream(s *obs.Stream) {
+	rt.mustNotRun("SetStream")
+	rt.stream = s
+	if s != nil {
+		rt.nw.EnableByteAccounting()
+	}
+}
+
+// Stream returns the attached observability stream (nil when streaming
+// is disabled).
+func (rt *Runtime) Stream() *obs.Stream { return rt.stream }
 
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (rt *Runtime) Tracer() obs.Tracer { return rt.tracer }

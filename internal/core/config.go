@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"temperedlb/internal/obs"
 )
@@ -208,6 +209,34 @@ type Config struct {
 	// untouched and results bit-identical to earlier versions.
 	GossipDrop float64
 
+	// GossipDup, GossipDelayMin/GossipDelayMax and GossipSlowRanks extend
+	// the engine's gossip transport to the full fault grammar the
+	// distributed runtime accepts (comm.FaultSpec): duplicated deliveries,
+	// a uniform per-message virtual latency band, and per-rank straggler
+	// penalties added to every message a slow rank sends or receives.
+	// Setting any of them switches gossip delivery from the legacy FIFO
+	// queue to a virtual-time event queue ordered by delivery time (ties
+	// by enqueue order, so an all-zero-delay spec reproduces FIFO order
+	// exactly). Fault decisions are stateless hashes of the message index
+	// under GossipFaultSeed (Seed when zero), so runs stay reproducible.
+	// Retry knobs of the grammar have no engine counterpart — the engine
+	// queue never loses a message except by explicit drop — and are
+	// accepted as no-ops by the flag parsers.
+	GossipDup       float64
+	GossipDelayMin  time.Duration
+	GossipDelayMax  time.Duration
+	GossipSlowRanks map[int]time.Duration
+	GossipFaultSeed int64
+
+	// Stream, when non-nil, receives one obs.Snapshot frame per engine
+	// iteration (plus an initial frame), carrying per-rank loads and the
+	// cumulative gossip/transfer accounting. StreamTag overrides the
+	// frame's Source field ("engine" when empty) so concurrent engines
+	// can share one stream distinguishably. Nil costs one comparison per
+	// iteration.
+	Stream    *obs.Stream
+	StreamTag string
+
 	// CommBias, in [0,1), activates the communication-aware extension
 	// (§VII future work) when a CommGraph is supplied to
 	// Engine.RunWithComm: recipient selection blends the load-deficit
@@ -277,6 +306,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: max gossip entries must be >= 0, got %d", c.MaxGossipEntries)
 	case c.GossipDrop < 0 || c.GossipDrop >= 1:
 		return fmt.Errorf("core: gossip drop must be in [0,1), got %g", c.GossipDrop)
+	case c.GossipDup < 0 || c.GossipDup >= 1:
+		return fmt.Errorf("core: gossip dup must be in [0,1), got %g", c.GossipDup)
+	case c.GossipDelayMin < 0 || c.GossipDelayMax < 0:
+		return fmt.Errorf("core: gossip delays must be >= 0, got min %v max %v",
+			c.GossipDelayMin, c.GossipDelayMax)
+	case c.GossipDelayMax > 0 && c.GossipDelayMin > c.GossipDelayMax:
+		return fmt.Errorf("core: gossip delay min %v exceeds max %v",
+			c.GossipDelayMin, c.GossipDelayMax)
+	}
+	for r, d := range c.GossipSlowRanks {
+		if r < 0 {
+			return fmt.Errorf("core: gossip slow rank must be >= 0, got %d", r)
+		}
+		if d < 0 {
+			return fmt.Errorf("core: gossip slow penalty must be >= 0, got %v", d)
+		}
 	}
 	return nil
 }

@@ -21,8 +21,10 @@ type IterationStats struct {
 	GossipEntries  int
 
 	// GossipDropped counts gossip messages lost to Config.GossipDrop
-	// before delivery (always zero when the knob is off).
-	GossipDropped int
+	// before delivery; GossipDuplicated counts extra deliveries injected
+	// by Config.GossipDup (both always zero when the knobs are off).
+	GossipDropped    int
+	GossipDuplicated int
 
 	// KnowledgeAvg and KnowledgeMin summarize how much of the
 	// underloaded set the gossip stage spread: the mean and minimum
@@ -127,13 +129,14 @@ type engineScratch struct {
 	states      []*InformState
 	transferRNG []*rand.Rand
 	orderRNG    *rand.Rand
-	dropRNG     *rand.Rand  // gossip-loss dice, used only when cfg.GossipDrop > 0
-	work        *Assignment // working distribution, reset per trial
-	queue       []Send      // gossip delivery queue, truncated per iteration
-	order       []int       // rank traversal permutation
-	tasks       []Task      // overloaded rank's task set
-	owners      []Rank      // owner snapshot for the affinity closure
-	bestOwners  []Rank      // owner vector of the best distribution
+	dropRNG     *rand.Rand    // gossip-loss dice, used only when cfg.GossipDrop > 0
+	work        *Assignment   // working distribution, reset per trial
+	queue       []Send        // gossip delivery queue, truncated per iteration
+	events      []gossipEvent // virtual-time delivery heap (rich fault specs)
+	order       []int         // rank traversal permutation
+	tasks       []Task        // overloaded rank's task set
+	owners      []Rank        // owner snapshot for the affinity closure
+	bestOwners  []Rank        // owner vector of the best distribution
 	haveBest    bool
 	xfer        TransferScratch
 }
@@ -198,6 +201,10 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 		tr.Emit(obs.Event{Type: obs.EvLBBegin, Peer: -1, Object: -1,
 			Value: res.InitialImbalance})
 	}
+	stream := e.cfg.Stream
+	if stream != nil {
+		e.publishFrame(obs.Snapshot{Phase: "init", Loads: a.RankLoads()}, res)
+	}
 
 	numRanks := a.NumRanks()
 	sc := &e.sc
@@ -247,6 +254,12 @@ func (e *Engine) RunWithComm(a *Assignment, g *CommGraph) (*Result, error) {
 					Dur: clock.Since(iterStart)})
 			}
 			res.History = append(res.History, st)
+			if stream != nil {
+				e.publishFrame(obs.Snapshot{
+					Phase: "iter", Trial: trial, Iteration: iter,
+					Loads: work.RankLoads(), IterMs: st.ElapsedSeconds * 1e3,
+				}, res)
+			}
 			if st.Imbalance < res.FinalImbalance { // line 10: keep the best
 				res.FinalImbalance = st.Imbalance
 				res.BestTrial, res.BestIteration = trial, iter
@@ -294,6 +307,10 @@ func (r *Result) Apply(a *Assignment) {
 // iterations; each Send is copied into it, so the per-state send buffers
 // may be recycled freely.
 func (e *Engine) gossip(work *Assignment, ave float64, st *IterationStats) {
+	if e.cfg.gossipFaultsRich() {
+		e.gossipVirtualTime(work, ave, st)
+		return
+	}
 	states := e.sc.states
 	queue := e.sc.queue[:0]
 	for r := range states {
@@ -377,6 +394,27 @@ func (e *Engine) transferPass(work *Assignment, ave float64, g *CommGraph, st *I
 	if overloaded > 0 {
 		st.KnowledgeAvg = float64(knowSum) / float64(overloaded)
 	}
+}
+
+// publishFrame stamps the engine's identity and cumulative accounting
+// onto a frame and publishes it to the configured stream. Counters are
+// re-summed from the history — at most Trials×Iterations rows, noise
+// next to a gossip pass.
+func (e *Engine) publishFrame(f obs.Snapshot, res *Result) {
+	f.Source = e.cfg.StreamTag
+	if f.Source == "" {
+		f.Source = "engine"
+	}
+	f.Ranks = len(f.Loads)
+	f.FillLoadStats()
+	for _, st := range res.History {
+		f.GossipMsgs += int64(st.GossipMessages)
+		f.GossipEntries += int64(st.GossipEntries)
+		f.TransferMsgs += int64(st.Transfers)
+		f.Dropped += int64(st.GossipDropped)
+		f.Duplicated += int64(st.GossipDuplicated)
+	}
+	e.cfg.Stream.Publish(f)
 }
 
 // String summarizes a result for logs.

@@ -177,6 +177,19 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 		rc.Emit(obs.Event{Type: obs.EvLBBegin, Peer: -1, Object: -1,
 			Value: res.InitialImbalance})
 	}
+	// Streaming publishes one frame per protocol step from rank 0. The
+	// load vectors ride an extra AllGather per frame; the stream is a
+	// runtime-wide attachment, so every rank takes these collectives (or
+	// none does) and the collective-order contract holds.
+	stream := rc.Stream()
+	entriesTotal := 0
+	if stream != nil {
+		loadsVec := rc.AllGather(ownLoad)
+		if self == 0 {
+			publishFrame(rc, stream, &res, entriesTotal,
+				obs.Snapshot{Phase: "init", Loads: loadsVec})
+		}
+	}
 	if total == 0 {
 		if tr != nil {
 			rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
@@ -280,8 +293,9 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				float64(xfers), float64(ts.Rejected), float64(ts.NoCandidate),
 				overloaded, overloaded * knowledge,
 			}, amt.ReduceSum)
+			curLoad := st.sumLoad(st.virtual)
 			maxes := rc.AllReduceVec([]float64{
-				st.sumLoad(st.virtual), negKnow, clock.Since(iterStart).Seconds(),
+				curLoad, negKnow, clock.Since(iterStart).Seconds(),
 			}, amt.ReduceMax)
 
 			iterStat := core.IterationStats{
@@ -308,6 +322,16 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				res.BestTrial, res.BestIteration = trial, iter
 				best = copyInto(best, st.virtual)
 			}
+			entriesTotal += iterStat.GossipEntries
+			if stream != nil {
+				loadsVec := rc.AllGather(curLoad)
+				if self == 0 {
+					publishFrame(rc, stream, &res, entriesTotal, obs.Snapshot{
+						Phase: "iter", Trial: trial, Iteration: iter,
+						Loads: loadsVec, IterMs: maxes[2] * 1e3,
+					})
+				}
+			}
 		}
 	}
 	st.inform = nil
@@ -332,12 +356,42 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	})
 	res.Migrations = rc.Stats.Migrations - migBefore
 	res.MigrationBytes = rc.Stats.MigrationBytes - bytesBefore
+	if stream != nil {
+		loadsVec := rc.AllGather(st.sumLoad(best))
+		migs := rc.AllReduce(float64(res.Migrations), amt.ReduceSum)
+		if self == 0 {
+			publishFrame(rc, stream, &res, entriesTotal, obs.Snapshot{
+				Phase: "commit", Trial: res.BestTrial, Iteration: res.BestIteration,
+				Loads: loadsVec, Migrations: int64(migs),
+			})
+		}
+	}
 	res.ElapsedSeconds = clock.Since(start).Seconds()
 	if tr != nil {
 		rc.Emit(obs.Event{Type: obs.EvLBEnd, Peer: -1, Object: -1,
 			Value: res.FinalImbalance, Dur: clock.Since(start)})
 	}
 	return res, nil
+}
+
+// publishFrame stamps the run-wide counters onto a frame and publishes
+// it. Only rank 0 calls it, after the collectives that filled f.Loads
+// ran on every rank; the transport and fault totals are runtime-global,
+// so the frame describes the whole run, not one rank.
+func publishFrame(rc *amt.Context, stream *obs.Stream, res *DistResult, entries int, f obs.Snapshot) {
+	f.Source = "distributed"
+	f.Ranks = rc.NumRanks()
+	f.FillLoadStats()
+	f.GossipMsgs = int64(res.GossipMessages)
+	f.GossipEntries = int64(entries)
+	f.TransferMsgs = int64(res.TransferMessages)
+	f.Msgs, f.Bytes = rc.TransportTotals()
+	fs := rc.FaultTotals()
+	f.Dropped, f.Duplicated = fs.Dropped, fs.Duplicated
+	f.Retries, f.DupDrops = fs.Retries, fs.DupDrops
+	f.Collectives = int64(rc.Stats.Collectives)
+	f.Epochs = int64(rc.Stats.EpochsRun)
+	stream.Publish(f)
 }
 
 // virtualTasks flattens the working set into core tasks with dense local

@@ -234,48 +234,129 @@ func WriteEventsJSON(w io.Writer, events []Event) error {
 	return enc.Encode(out)
 }
 
-// family splits a metric name in exposition syntax into its family (the
-// part before any label braces) for TYPE comment lines.
-func family(name string) string {
+// splitLabels splits a metric name in exposition syntax into its family
+// (the part before any label brace) and the label body between the
+// braces ("" when unlabelled).
+func splitLabels(name string) (family, labels string) {
 	if i := strings.IndexByte(name, '{'); i >= 0 {
-		return name[:i]
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
 	}
-	return name
+	return name, ""
+}
+
+// family returns the metric family of an exposition-syntax name.
+func family(name string) string {
+	f, _ := splitLabels(name)
+	return f
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline become \\, \"
+// and \n.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// LabeledName renders family{k1="v1",...} in exposition syntax with the
+// label values escaped — the way registry names carrying labels (see
+// Metrics) should be built. kv alternates keys and values; an odd tail
+// or empty kv returns the bare family.
+func LabeledName(fam string, kv ...string) string {
+	if len(kv) < 2 {
+		return fam
+	}
+	var b strings.Builder
+	b.WriteString(fam)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sampleName joins a family (plus optional suffix such as _bucket) with
+// a base label body and one extra label, producing a well-formed sample
+// name whether or not either label part is empty.
+func sampleName(fam, suffix, labels, extra string) string {
+	name := fam + suffix
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
 }
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): counters, gauges, then histograms with
-// cumulative le-labelled buckets, each family preceded by a TYPE line.
+// cumulative le-labelled buckets. Each family is preceded by its HELP
+// text (when registered via Metrics.SetHelp) and a TYPE line, each
+// emitted exactly once per family even when many labelled series share
+// it; histogram label suffixes merge with the le label instead of
+// nesting braces.
 func WritePrometheus(w io.Writer, m *Metrics) error {
 	bw := bufio.NewWriter(w)
-	seenType := map[string]bool{}
-	typeLine := func(name, kind string) {
-		f := family(name)
-		if !seenType[f] {
-			seenType[f] = true
-			fmt.Fprintf(bw, "# TYPE %s %s\n", f, kind)
+	seenHeader := map[string]bool{}
+	header := func(fam, kind string) {
+		if seenHeader[fam] {
+			return
 		}
+		seenHeader[fam] = true
+		if help := m.helpFor(fam); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kind)
 	}
 	m.visit(
 		func(name string, c *Counter) {
-			typeLine(name, "counter")
+			header(family(name), "counter")
 			fmt.Fprintf(bw, "%s %d\n", name, c.Value())
 		},
 		func(name string, g *Gauge) {
-			typeLine(name, "gauge")
+			header(family(name), "gauge")
 			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(g.Value()))
 		},
 		func(name string, h *Histogram) {
-			typeLine(name, "histogram")
+			fam, labels := splitLabels(name)
+			header(fam, "histogram")
 			snap := h.Snapshot()
 			cum := int64(0)
 			for i, bound := range snap.Bounds {
 				cum += snap.Counts[i]
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+				fmt.Fprintf(bw, "%s %d\n",
+					sampleName(fam, "_bucket", labels, `le="`+formatFloat(bound)+`"`), cum)
 			}
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
-			fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(snap.Sum))
-			fmt.Fprintf(bw, "%s_count %d\n", name, snap.Count)
+			fmt.Fprintf(bw, "%s %d\n", sampleName(fam, "_bucket", labels, `le="+Inf"`), snap.Count)
+			fmt.Fprintf(bw, "%s %s\n", sampleName(fam, "_sum", labels, ""), formatFloat(snap.Sum))
+			fmt.Fprintf(bw, "%s %d\n", sampleName(fam, "_count", labels, ""), snap.Count)
 		},
 	)
 	return bw.Flush()

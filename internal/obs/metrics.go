@@ -128,6 +128,7 @@ type Metrics struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string // family -> HELP text
 }
 
 // NewMetrics creates an empty registry.
@@ -136,7 +137,24 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp records the HELP text for a metric family (the name without
+// any label suffix); the exporter emits it once per family, before the
+// TYPE line. Idempotent and safe for concurrent use.
+func (m *Metrics) SetHelp(family, text string) {
+	m.mu.Lock()
+	m.help[family] = text
+	m.mu.Unlock()
+}
+
+// helpFor returns the registered HELP text for a family, "" when none.
+func (m *Metrics) helpFor(family string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.help[family]
 }
 
 // Counter returns the named counter, creating it on first use.

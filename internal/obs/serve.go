@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewServeMux builds the observability HTTP surface for a live run:
+//
+//	/           endpoint index (text)
+//	/stream     live NDJSON frame stream: replays the ring, then tails
+//	            new frames until the client disconnects; ?since=N skips
+//	            the replay ahead to frame sequence N
+//	/frames     the ring's current frames as NDJSON, then closes (the
+//	            recording format lbtop -replay reads)
+//	/snapshot   the latest frame as a single JSON object
+//	/metrics    the registry in Prometheus text exposition format
+//	/debug/pprof/*  the stdlib profiler (CPU, heap, mutex, goroutine)
+//
+// stream and metrics may each be nil; their endpoints then report 404.
+// pprof is wired explicitly because the stdlib only self-registers on
+// http.DefaultServeMux, which a library must not touch.
+func NewServeMux(stream *Stream, metrics *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "temperedlb observability\n\n"+
+			"/stream    live NDJSON frames (?since=N)\n"+
+			"/frames    recorded ring as NDJSON\n"+
+			"/snapshot  latest frame as JSON\n"+
+			"/metrics   Prometheus text format\n"+
+			"/debug/pprof/  profiler index\n")
+	})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		if stream == nil {
+			http.NotFound(w, r)
+			return
+		}
+		serveStream(w, r, stream)
+	})
+	mux.HandleFunc("/frames", func(w http.ResponseWriter, r *http.Request) {
+		if stream == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		WriteSnapshots(w, stream.Frames())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if stream == nil {
+			http.NotFound(w, r)
+			return
+		}
+		f, ok := stream.Latest()
+		if !ok {
+			http.Error(w, "no frames published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if metrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, metrics)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveStream replays the ring from the requested sequence and then
+// tails live frames as NDJSON, flushing after every frame so dashboards
+// see them immediately. Subscribing before the replay (and skipping
+// already-written sequence numbers) closes the window in which a frame
+// published mid-handoff would be lost.
+func serveStream(w http.ResponseWriter, r *http.Request, stream *Stream) {
+	since := int64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sub := stream.Subscribe(256)
+	defer stream.Unsubscribe(sub)
+
+	lastSeq := int64(-1)
+	for _, f := range stream.Since(since) {
+		if err := enc.Encode(&f); err != nil {
+			return
+		}
+		lastSeq = f.Seq
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case f := <-sub.Frames():
+			if f.Seq <= lastSeq {
+				continue // already written during the replay
+			}
+			if err := enc.Encode(&f); err != nil {
+				return
+			}
+			lastSeq = f.Seq
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// StartServer listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves
+// the observability mux in a background goroutine. It returns the
+// running server and the bound address — useful with port 0 — or an
+// error if the listen fails. Shut down with srv.Close.
+func StartServer(addr string, stream *Stream, metrics *Metrics) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewServeMux(stream, metrics)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

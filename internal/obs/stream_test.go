@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStreamRingEviction(t *testing.T) {
+	s := NewStream(4)
+	if _, ok := s.Latest(); ok {
+		t.Fatal("Latest on empty stream reported a frame")
+	}
+	for i := 0; i < 10; i++ {
+		f := s.Publish(Snapshot{Ranks: i})
+		if f.Seq != int64(i) {
+			t.Fatalf("frame %d stamped seq %d", i, f.Seq)
+		}
+	}
+	frames := s.Frames()
+	if len(frames) != 4 {
+		t.Fatalf("ring holds %d frames, want 4", len(frames))
+	}
+	for i, f := range frames {
+		if want := int64(6 + i); f.Seq != want {
+			t.Fatalf("frames[%d].Seq = %d, want %d", i, f.Seq, want)
+		}
+	}
+	last, ok := s.Latest()
+	if !ok || last.Seq != 9 || last.Ranks != 9 {
+		t.Fatalf("Latest = %+v, ok=%v; want seq 9", last, ok)
+	}
+	if got := s.Since(8); len(got) != 2 || got[0].Seq != 8 {
+		t.Fatalf("Since(8) = %+v, want seqs 8,9", got)
+	}
+	if got := s.Since(99); got != nil {
+		t.Fatalf("Since past the head = %+v, want nil", got)
+	}
+}
+
+func TestStreamSubscriberDropOldest(t *testing.T) {
+	s := NewStream(16)
+	sub := s.Subscribe(2)
+	defer s.Unsubscribe(sub)
+	for i := 0; i < 5; i++ {
+		s.Publish(Snapshot{Trial: i})
+	}
+	// Buffer of 2: frames 0..2 were evicted to admit 3 and 4.
+	if d := sub.Dropped(); d != 3 {
+		t.Fatalf("Dropped = %d, want 3", d)
+	}
+	got := []int{}
+	for len(sub.Frames()) > 0 {
+		got = append(got, (<-sub.Frames()).Trial)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("delivered %v, want [3 4] (newest survive)", got)
+	}
+}
+
+func TestStreamUnsubscribeStopsDelivery(t *testing.T) {
+	s := NewStream(16)
+	sub := s.Subscribe(8)
+	s.Publish(Snapshot{})
+	s.Unsubscribe(sub)
+	s.Publish(Snapshot{})
+	if n := len(sub.Frames()); n != 1 {
+		t.Fatalf("got %d frames after unsubscribe, want 1", n)
+	}
+}
+
+func TestStreamConcurrentPublish(t *testing.T) {
+	s := NewStream(64)
+	sub := s.Subscribe(4) // deliberately tiny: exercises eviction races
+	defer s.Unsubscribe(sub)
+	const publishers, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Publish(Snapshot{Step: p*each + i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	frames := s.Frames()
+	if len(frames) != 64 {
+		t.Fatalf("ring holds %d frames, want 64", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Seq != frames[i-1].Seq+1 {
+			t.Fatalf("ring seqs not dense at %d: %d then %d", i, frames[i-1].Seq, frames[i].Seq)
+		}
+	}
+	if last, _ := s.Latest(); last.Seq != publishers*each-1 {
+		t.Fatalf("Latest.Seq = %d, want %d", last.Seq, publishers*each-1)
+	}
+	// Conservation: everything offered was either delivered or counted.
+	delivered := 0
+	for len(sub.Frames()) > 0 {
+		<-sub.Frames()
+		delivered++
+	}
+	if total := delivered + int(sub.Dropped()); total != publishers*each {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d",
+			delivered, sub.Dropped(), total, publishers*each)
+	}
+}
+
+func TestFillLoadStats(t *testing.T) {
+	f := Snapshot{Loads: []float64{1, 2, 3, 4, 10}}
+	f.FillLoadStats()
+	if f.Ranks != 5 || f.MaxLoad != 10 || f.MinLoad != 1 || f.AvgLoad != 4 {
+		t.Fatalf("stats = %+v", f)
+	}
+	if want := 10.0/4.0 - 1; math.Abs(f.Imbalance-want) > 1e-12 {
+		t.Fatalf("Imbalance = %g, want %g", f.Imbalance, want)
+	}
+	if want := math.Sqrt((9.0 + 4 + 1 + 0 + 36) / 5); math.Abs(f.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %g, want %g", f.StdDev, want)
+	}
+
+	zero := Snapshot{Loads: []float64{0, 0}}
+	zero.FillLoadStats()
+	if zero.Imbalance != 0 {
+		t.Fatalf("all-zero loads: Imbalance = %g, want 0", zero.Imbalance)
+	}
+}
+
+func TestSnapshotNDJSONRoundTrip(t *testing.T) {
+	in := []Snapshot{
+		{Seq: 0, Source: "distributed", Phase: "init", Ranks: 4, Loads: []float64{1, 0, 2, 1}},
+		{Seq: 1, Source: "distributed", Phase: "iter", Trial: 1, Iteration: 2,
+			Ranks: 4, GossipMsgs: 12, TransferMsgs: 3, Imbalance: 0.5, IterMs: 1.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshots(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 2 {
+		t.Fatalf("NDJSON wrote %d lines, want 2", lines)
+	}
+	out, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].GossipMsgs != 12 || out[1].IterMs != 1.25 ||
+		len(out[0].Loads) != 4 || out[0].Loads[2] != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"temperedlb/internal/lb"
 	"temperedlb/internal/lb/hier"
 	"temperedlb/internal/mesh"
+	"temperedlb/internal/obs"
 	"temperedlb/internal/stats"
 )
 
@@ -78,6 +79,13 @@ type Tracker struct {
 	// HierSchedule applies the paper's special HierLB schedule:
 	// load-intensive tasks preferred at step 2, lightweight at step 4.
 	HierSchedule bool
+	// Stream, when non-nil, receives one frame per simulation step with
+	// the tracker's per-rank loads and cumulative LB accounting; frames
+	// carry the tracker's Name as their source. Trackers advance
+	// concurrently within a step, so sharing one stream interleaves
+	// sources (Publish is thread-safe); per-step frame order across
+	// trackers is scheduling-dependent, per-tracker order is not.
+	Stream *obs.Stream
 
 	Breakdown Breakdown
 	Series    Series
@@ -211,6 +219,18 @@ func (t *Tracker) step(stepNum int, cfg empire.Config, colorLoads []float64, tn 
 	t.Series.LowerBound = append(t.Series.LowerBound,
 		stats.LowerBoundMax(ave, t.assign.MaxTaskLoad())*t.overhead)
 	t.Series.Imbalance = append(t.Series.Imbalance, t.assign.Imbalance())
+
+	if t.Stream != nil {
+		f := obs.Snapshot{
+			Source: t.Name, Phase: "step", Step: stepNum,
+			Loads:        rankLoads, // fresh copy from RankLoads above
+			TransferMsgs: int64(t.LBStats.Messages),
+			Migrations:   int64(t.LBStats.MovedTasks),
+			IterMs:       (tn + tp + tlb) * 1e3,
+		}
+		f.FillLoadStats()
+		t.Stream.Publish(f)
+	}
 	return nil
 }
 

@@ -31,6 +31,12 @@ type (
 	// Metrics is the lock-cheap counter/gauge/histogram registry
 	// returned by Runtime.Metrics.
 	Metrics = obs.Metrics
+	// Stream is the live frame publisher: a fixed ring of Snapshot
+	// frames plus drop-oldest subscribers, served over HTTP by
+	// ServeObservability.
+	Stream = obs.Stream
+	// Snapshot is one frame of the observability stream.
+	Snapshot = obs.Snapshot
 	// RuntimeOption configures NewRuntime.
 	RuntimeOption = amt.Option
 )
@@ -90,4 +96,31 @@ func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
 // WriteTraceJSON exports events as a JSON array.
 func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
 	return obs.WriteEventsJSON(w, events)
+}
+
+// NewStream creates a frame stream with the given ring capacity (<= 0
+// selects the default).
+func NewStream(capacity int) *Stream { return obs.NewStream(capacity) }
+
+// WithStream attaches a frame stream to a new runtime: the distributed
+// balancer publishes one frame per protocol step (per-rank loads,
+// imbalance, traffic and fault counters) from rank 0.
+func WithStream(s *Stream) RuntimeOption { return amt.WithStream(s) }
+
+// ServeObservability starts an HTTP server on addr exposing the stream
+// (NDJSON at /stream and /frames, latest frame at /snapshot), the
+// metrics registry at /metrics, and net/http/pprof under /debug/pprof/.
+// It returns the server and the bound address (addr may use port 0).
+// Either stream or metrics may be nil; the matching endpoints 404.
+func ServeObservability(addr string, stream *Stream, metrics *Metrics) (io.Closer, string, error) {
+	srv, bound, err := obs.StartServer(addr, stream, metrics)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// WriteSnapshots writes frames as NDJSON — the `lbtop -replay` format.
+func WriteSnapshots(w io.Writer, frames []Snapshot) error {
+	return obs.WriteSnapshots(w, frames)
 }

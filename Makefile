@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos storm obs-smoke check bench bench-json bench-compare
+.PHONY: build test vet lint race chaos storm obs-smoke wire-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -45,11 +45,31 @@ storm:
 obs-smoke:
 	$(GO) test -count=1 -run 'TestObsSmoke|TestRenderGolden' ./internal/dash/
 
+# Wire smoke: a real 2-process Unix-socket job (two lbnode processes,
+# static peers file, OS sockets, separate address spaces) must produce
+# the same protocol-determined DistResult as the in-memory
+# single-process run — the multi-process determinism claim of
+# DESIGN.md §10, checked end to end with the shipped binaries.
+# Rounds is pinned to 1: see the determinism argument in §10.
+WIRE_SMOKE_ARGS = -ranks 12 -tasks 60 -seed 3 -rounds 1
+wire-smoke:
+	@rm -rf .wire-smoke && mkdir .wire-smoke
+	$(GO) build -o .wire-smoke/ ./cmd/lbnode ./cmd/lbplay
+	./.wire-smoke/lbplay -distributed $(WIRE_SMOKE_ARGS) -result .wire-smoke/memory.json >/dev/null
+	@printf '0 .wire-smoke/n0.sock\n1 .wire-smoke/n1.sock\n' > .wire-smoke/peers
+	./.wire-smoke/lbnode -node 1 -nodes 2 -transport unix -listen .wire-smoke/n1.sock \
+		-peers .wire-smoke/peers $(WIRE_SMOKE_ARGS) >/dev/null & \
+	./.wire-smoke/lbnode -node 0 -nodes 2 -transport unix -listen .wire-smoke/n0.sock \
+		-peers .wire-smoke/peers $(WIRE_SMOKE_ARGS) -result .wire-smoke/wire.json >/dev/null && wait
+	diff .wire-smoke/memory.json .wire-smoke/wire.json
+	@rm -rf .wire-smoke
+	@echo "wire-smoke: 2-process unix-socket DistResult identical to in-memory"
+
 # The CI gate: static analysis (go vet and the project's lbvet
 # analyzers), the race-enabled suite, the chaos suite (which includes
-# the storm), the observability smoke, and the benchmark regression
-# diff against the committed trajectory.
-check: vet lint race chaos obs-smoke bench-compare
+# the storm), the observability and wire smokes, and the benchmark
+# regression diff against the committed trajectory.
+check: vet lint race chaos obs-smoke wire-smoke bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,20 @@
+// Command lbcoord solves multi-process startup's chicken-and-egg: an
+// lbnode job needs every process to know every other's listen address
+// before the transport mesh can form, but with ephemeral ports
+// (tcp :0) no process knows its address until it has bound. lbcoord is
+// the one well-known address the operator chooses; each lbnode
+// announces its node index, rank range and bound address there, and
+// once all -nodes processes have checked in, every one receives the
+// complete, sorted map and the coordinator exits. It carries no
+// protocol state and plays no part in the run itself — jobs with fixed
+// port assignments can use a static -peers file instead and skip the
+// coordinator entirely.
+//
+// # Concurrency
+//
+// Single-threaded accept loop, one job per invocation: connections are
+// handled sequentially (a rendezvous exchanges two JSON lines per
+// node), duplicate or out-of-range node indices are refused without
+// disturbing the nodes already checked in, and the whole wait is
+// bounded by -timeout.
+package main

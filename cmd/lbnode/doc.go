@@ -1,0 +1,29 @@
+// Command lbnode is the multi-process deployment shape of the
+// distributed TemperedLB protocol: where `lbplay -distributed` hosts
+// every rank as a goroutine in one process, lbnode hosts one contiguous
+// rank range per OS process and joins the processes over TCP or
+// Unix-domain sockets (internal/comm/wire). N lbnode processes with
+// matching -ranks/-nodes/-seed flags form one balancing job — the
+// paper's picture of an MPI job spanning nodes, with the AMT runtime's
+// epochs, termination detection, tree collectives and migrations
+// running unchanged over the wire. The cross-transport identity test
+// and `make wire-smoke` pin down that this changes no protocol
+// outcome: the DistResult is bit-identical to the single-process run.
+//
+// Rendezvous is either static (-peers file of "<node> <addr>" lines,
+// addresses fixed up front) or dynamic (-coord pointing at a running
+// cmd/lbcoord, which collects every node's bound address and hands
+// back the full map). Dial backoff tolerates processes starting in any
+// order.
+//
+// # Concurrency
+//
+// The process runs one goroutine per local rank (the runtime's
+// contract), one writer goroutine per peer process, and one reader
+// goroutine per inbound connection; the reader injects decoded
+// messages into the same per-rank inboxes a single-process run uses,
+// so the protocol stack above observes no difference. Shutdown is the
+// transport's close-drain: queued sends flush before the connection
+// drops, and the process keeps accepting inbound traffic until every
+// peer has said goodbye (bounded by the drain timeout).
+package main

@@ -4,15 +4,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"os"
 	"os/signal"
 
 	"temperedlb"
+	"temperedlb/internal/comm/wire"
 )
 
 func main() {
@@ -28,12 +29,16 @@ func main() {
 		order      = flag.String("order", "fewest-migrations", "task traversal ordering (tempered)")
 		seed       = flag.Int64("seed", 1, "seed")
 		dist       = flag.Bool("distributed", false, "run the gossip balancer on the real AMT runtime")
+		transport  = flag.String("transport", "memory", "message substrate for -distributed: memory | unix | tcp (unix/tcp run an in-process socket cluster; see cmd/lbnode for multi-process jobs)")
+		nodes      = flag.Int("nodes", 2, "socket-cluster node count for -transport=unix|tcp")
+		rounds     = flag.Int("rounds", 0, "gossip rounds per iteration (0 = strategy default; cross-transport diffs need -rounds 1)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in Perfetto); tempered or -distributed runs")
 		metricsOut = flag.String("metrics", "", "write runtime metrics in Prometheus text format to this file (-distributed only)")
 		faults     = flag.String("faults", "", "inject transport faults, e.g. \"seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms\" (-distributed only)")
 		fanout     = flag.Int("fanout", 4, "arity of the runtime's collective reduction tree (-distributed only)")
 		serveAddr  = flag.String("serve", "", "serve live observability HTTP on this address (NDJSON /stream, /metrics, /debug/pprof/) and keep serving after the run until interrupted (-distributed only)")
 		framesOut  = flag.String("frames", "", "write the run's frame ring as NDJSON to this file for lbtop -replay (-distributed only)")
+		resultOut  = flag.String("result", "", "write rank 0's protocol-determined DistResult as JSON to this file (timing stripped; diffable across transports and processes)")
 	)
 	flag.Parse()
 
@@ -73,7 +78,13 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(a, *seed, *traceOut, *metricsOut, *faults, *fanout, *serveAddr, *framesOut)
+		runDistributed(distOptions{
+			a: a, seed: *seed, rounds: *rounds,
+			transport: *transport, nodes: *nodes,
+			tracePath: *traceOut, metricsPath: *metricsOut,
+			faults: *faults, fanout: *fanout,
+			serveAddr: *serveAddr, framesPath: *framesOut, resultPath: *resultOut,
+		})
 		return
 	}
 	if *metricsOut != "" {
@@ -84,6 +95,9 @@ func main() {
 	}
 	if *serveAddr != "" || *framesOut != "" {
 		log.Fatal("-serve and -frames stream the runtime's frames; combine them with -distributed")
+	}
+	if *transport != "memory" || *resultOut != "" {
+		log.Fatal("-transport and -result drive the runtime; combine them with -distributed")
 	}
 
 	var rec *temperedlb.TraceRecorder
@@ -151,28 +165,91 @@ func writeExport(path string, write func(io.Writer) error) {
 	}
 }
 
+// writeResult writes one protocol-determined result as JSON, timing
+// stripped so files from different transports and machines diff clean.
+func writeResult(path string, res temperedlb.DistributedResult) {
+	writeExport(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.StripTiming())
+	})
+	log.Printf("wrote result to %s", path)
+}
+
+type distOptions struct {
+	a           *temperedlb.Assignment
+	seed        int64
+	rounds      int
+	transport   string
+	nodes       int
+	tracePath   string
+	metricsPath string
+	faults      string
+	fanout      int
+	serveAddr   string
+	framesPath  string
+	resultPath  string
+}
+
 // runDistributed scatters equivalent synthetic objects over a real AMT
 // runtime and executes the distributed protocol, optionally with the
-// observability stack attached.
-func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath, faults string, fanout int, serveAddr, framesPath string) {
-	n := a.NumRanks()
-	opts := []temperedlb.RuntimeOption{temperedlb.WithFanout(fanout)}
+// observability stack attached. With -transport=unix or tcp the job
+// runs as an in-process socket cluster: one runtime per node, each
+// hosting a contiguous rank range behind a partial network, joined by
+// real OS sockets — the same topology cmd/lbnode spreads over separate
+// processes.
+func runDistributed(o distOptions) {
+	n := o.a.NumRanks()
+	var obsOpts []temperedlb.RuntimeOption
 	var rec *temperedlb.TraceRecorder
-	if tracePath != "" {
+	if o.tracePath != "" {
 		rec = temperedlb.NewTraceRecorder()
-		opts = append(opts, temperedlb.WithTracer(rec))
+		obsOpts = append(obsOpts, temperedlb.WithTracer(rec))
 	}
-	if metricsPath != "" || serveAddr != "" {
-		opts = append(opts, temperedlb.WithMetrics())
+	if o.metricsPath != "" || o.serveAddr != "" {
+		obsOpts = append(obsOpts, temperedlb.WithMetrics())
 	}
 	var stream *temperedlb.Stream
-	if serveAddr != "" || framesPath != "" {
+	if o.serveAddr != "" || o.framesPath != "" {
 		stream = temperedlb.NewStream(0)
-		opts = append(opts, temperedlb.WithStream(stream))
+		obsOpts = append(obsOpts, temperedlb.WithStream(stream))
 	}
-	rt := temperedlb.NewRuntime(n, opts...)
-	if serveAddr != "" {
-		srv, bound, err := temperedlb.ServeObservability(serveAddr, stream, rt.Metrics())
+
+	// Stand up the runtimes: one over everything for the in-memory
+	// transport, one per cluster node for the socket transports.
+	// Observability (tracer, metrics, stream, serve) attaches to the
+	// first runtime — the one hosting rank 0, which publishes the frames.
+	var runtimes []*temperedlb.Runtime
+	var cluster *wire.Cluster
+	switch o.transport {
+	case "memory":
+		runtimes = []*temperedlb.Runtime{temperedlb.NewRuntime(n,
+			append([]temperedlb.RuntimeOption{temperedlb.WithFanout(o.fanout)}, obsOpts...)...)}
+	case "unix", "tcp":
+		if o.nodes < 1 || o.nodes > n {
+			log.Fatalf("-nodes %d: need 1 <= nodes <= ranks (%d)", o.nodes, n)
+		}
+		var err error
+		cluster, err = wire.NewCluster(o.transport, n, o.nodes, uint64(o.seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		for i, tr := range cluster.Transports {
+			nodeOpts := []temperedlb.RuntimeOption{temperedlb.WithFanout(o.fanout), temperedlb.WithTransport(tr)}
+			if i == 0 {
+				nodeOpts = append(nodeOpts, obsOpts...) // observability on node 0 only
+			}
+			runtimes = append(runtimes, temperedlb.NewRuntime(n, nodeOpts...))
+		}
+		log.Printf("socket cluster: %d nodes over %s, %d ranks", o.nodes, o.transport, n)
+	default:
+		log.Fatalf("unknown transport %q (want memory, unix or tcp)", o.transport)
+	}
+	rt0 := runtimes[0]
+
+	if o.serveAddr != "" {
+		srv, bound, err := temperedlb.ServeObservability(o.serveAddr, stream, rt0.Metrics())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -180,76 +257,128 @@ func runDistributed(a *temperedlb.Assignment, seed int64, tracePath, metricsPath
 		log.Printf("serving observability on http://%s (attach with: lbtop -url http://%s)", bound, bound)
 	}
 	var faultSpec temperedlb.FaultSpec
-	if faults != "" {
-		sp, err := temperedlb.ParseFaultSpec(faults)
+	if o.faults != "" {
+		sp, err := temperedlb.ParseFaultSpec(o.faults)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := rt.SetFaults(sp); err != nil {
-			log.Fatal(err)
+		for _, rt := range runtimes {
+			if err := rt.SetFaults(sp); err != nil {
+				log.Fatal(err)
+			}
 		}
 		faultSpec = sp
 	}
-	h := temperedlb.RegisterLBHandlers(rt, 1)
+
+	cfg := temperedlb.Tempered()
+	cfg.Trials, cfg.Iterations = 4, 4
+	cfg.Seed = o.seed
+	if o.rounds > 0 {
+		cfg.Rounds = o.rounds
+	}
 	results := make([]temperedlb.DistributedResult, n)
-	rt.Run(func(rc *temperedlb.RankContext) {
-		rng := rand.New(rand.NewSource(seed + int64(rc.Rank())))
-		loads := map[temperedlb.ObjectID]float64{}
-		for _, task := range a.TasksOf(rc.Rank()) {
-			id := rc.CreateObject(task.Load + rng.Float64()*0) // state: the load itself
-			loads[id] = task.Load
-		}
-		rc.Barrier()
-		cfg := temperedlb.Tempered()
-		cfg.Trials, cfg.Iterations = 4, 4
-		cfg.Seed = seed
-		res, err := temperedlb.RunDistributedLB(rc, h, cfg, loads)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results[rc.Rank()] = res
-	})
+	type hrt struct {
+		rt *temperedlb.Runtime
+		h  *temperedlb.LBHandlers
+	}
+	hrts := make([]hrt, len(runtimes))
+	for i, rt := range runtimes {
+		hrts[i] = hrt{rt: rt, h: temperedlb.RegisterLBHandlers(rt, 1)}
+	}
+	done := make(chan struct{}, len(hrts))
+	for _, p := range hrts {
+		go func(rt *temperedlb.Runtime, h *temperedlb.LBHandlers) {
+			defer func() { done <- struct{}{} }()
+			rt.Run(func(rc *temperedlb.RankContext) {
+				loads := map[temperedlb.ObjectID]float64{}
+				for _, task := range o.a.TasksOf(rc.Rank()) {
+					id := rc.CreateObject(task.Load) // state: the load itself
+					loads[id] = task.Load
+				}
+				rc.Barrier()
+				res, err := temperedlb.RunDistributedLB(rc, h, cfg, loads)
+				if err != nil {
+					log.Fatal(err)
+				}
+				results[rc.Rank()] = res
+			})
+		}(p.rt, p.h)
+	}
+	for range hrts {
+		<-done
+	}
+
 	res := results[0]
 	migs := 0
 	for _, r := range results {
 		migs += r.Migrations
 	}
-	fmt.Printf("strategy        TemperedLB (distributed, %d ranks / %d goroutines)\n", n, n)
+	var totalMsgs int64
+	for _, rt := range runtimes {
+		totalMsgs += rt.TotalMessages()
+	}
+	switch o.transport {
+	case "memory":
+		fmt.Printf("strategy        TemperedLB (distributed, %d ranks / %d goroutines)\n", n, n)
+	default:
+		fmt.Printf("strategy        TemperedLB (distributed, %d ranks over %d %s-socket nodes)\n", n, o.nodes, o.transport)
+	}
 	fmt.Printf("imbalance       %.4f -> %.4f (best trial %d iter %d)\n",
 		res.InitialImbalance, res.FinalImbalance, res.BestTrial, res.BestIteration)
 	fmt.Printf("migrations      %d objects actually moved\n", migs)
-	fmt.Printf("transport       %d messages total (gossip, transfers, termination, commit)\n", rt.TotalMessages())
-	fmt.Printf("collectives     %d-ary reduction tree\n", rt.Fanout())
+	fmt.Printf("transport       %d messages total (gossip, transfers, termination, commit)\n", totalMsgs)
+	fmt.Printf("collectives     %d-ary reduction tree\n", rt0.Fanout())
 	fmt.Printf("protocol cost   %d gossip + %d transfer messages, %.3fs wall clock\n",
 		res.GossipMessages, res.TransferMessages, res.ElapsedSeconds)
+	if cluster != nil {
+		var ws temperedlb.WireStats
+		for _, tr := range cluster.Transports {
+			st := tr.WireStats()
+			ws.FramesOut += st.FramesOut
+			ws.BytesOut += st.BytesOut
+			ws.Redials += st.Redials
+		}
+		fmt.Printf("wire            %d frames / %d bytes shipped between nodes, %d redials\n",
+			ws.FramesOut, ws.BytesOut, ws.Redials)
+	}
 	if !faultSpec.Empty() {
-		st := rt.FaultStats()
+		var st temperedlb.FaultStats
+		for _, rt := range runtimes {
+			s := rt.FaultStats()
+			st.Dropped += s.Dropped
+			st.Duplicated += s.Duplicated
+			st.Retries += s.Retries
+			st.DupDrops += s.DupDrops
+		}
 		fmt.Printf("faults          %s\n", faultSpec)
 		fmt.Printf("fault damage    %d dropped, %d duplicated; recovery: %d retries, %d dup discards\n",
 			st.Dropped, st.Duplicated, st.Retries, st.DupDrops)
 	}
+	if o.resultPath != "" {
+		writeResult(o.resultPath, res)
+	}
 	if rec != nil {
 		events := rec.Events()
-		writeExport(tracePath, func(w io.Writer) error {
+		writeExport(o.tracePath, func(w io.Writer) error {
 			return temperedlb.WriteChromeTrace(w, events)
 		})
-		log.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)", len(events), tracePath)
+		log.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)", len(events), o.tracePath)
 	}
-	if metricsPath != "" {
-		writeExport(metricsPath, func(w io.Writer) error {
-			return temperedlb.WritePrometheus(w, rt.Metrics())
+	if o.metricsPath != "" {
+		writeExport(o.metricsPath, func(w io.Writer) error {
+			return temperedlb.WritePrometheus(w, rt0.Metrics())
 		})
-		log.Printf("wrote metrics to %s", metricsPath)
+		log.Printf("wrote metrics to %s", o.metricsPath)
 	}
-	if framesPath != "" {
+	if o.framesPath != "" {
 		frames := stream.Frames()
-		writeExport(framesPath, func(w io.Writer) error {
+		writeExport(o.framesPath, func(w io.Writer) error {
 			return temperedlb.WriteSnapshots(w, frames)
 		})
 		log.Printf("wrote %d frames to %s (replay with: lbtop -replay %s)",
-			len(frames), framesPath, framesPath)
+			len(frames), o.framesPath, o.framesPath)
 	}
-	if serveAddr != "" {
+	if o.serveAddr != "" {
 		log.Print("run finished; still serving (Ctrl-C to exit)")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)

@@ -201,6 +201,17 @@ func (rc *Context) TransportTotals() (msgs, bytes int64) {
 	return rc.rt.nw.TotalSent(), rc.rt.nw.TotalBytes()
 }
 
+// WireTotals returns the socket transport's frame counters and reports
+// whether the runtime is on one; on the in-memory transport ok is
+// false. Safe to call during Run.
+func (rc *Context) WireTotals() (st comm.WireStats, ok bool) {
+	ws, ok := rc.rt.nw.(comm.WireStater)
+	if !ok {
+		return comm.WireStats{}, false
+	}
+	return ws.WireStats(), true
+}
+
 // FaultTotals returns the runtime's cumulative fault-injection and
 // recovery counters (all zero without a fault plan). Safe to call
 // during Run.

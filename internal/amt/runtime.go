@@ -27,7 +27,7 @@ type ObjectHandler func(rc *Context, obj ObjectID, state any, from core.Rank, da
 // ranks. Register all handlers before calling Run.
 type Runtime struct {
 	n            int
-	nw           *comm.Network
+	nw           comm.Transport
 	handlers     map[HandlerID]Handler
 	objHandlers  map[HandlerID]ObjectHandler
 	handlerNames map[HandlerID]string
@@ -95,6 +95,11 @@ func WithStream(s *obs.Stream) Option {
 	return func(rt *Runtime) { rt.SetStream(s) }
 }
 
+// WithTransport substitutes the message transport (see SetTransport).
+func WithTransport(t comm.Transport) Option {
+	return func(rt *Runtime) { rt.SetTransport(t) }
+}
+
 // DefaultFanout is the arity of the collective tree when none is
 // configured: 4-ary keeps per-rank collective traffic at 2·4+2 messages
 // while reaching 4096 ranks in 6 levels.
@@ -124,6 +129,26 @@ func (rt *Runtime) SetTracer(t obs.Tracer) {
 	rt.mustNotRun("SetTracer")
 	rt.tracer = t
 }
+
+// SetTransport replaces the default in-memory transport, letting this
+// runtime host only the transport's local rank range while remote
+// ranks live in other processes (see internal/comm/wire and
+// cmd/lbnode). The transport's total rank count must match the
+// runtime's. Call before Run; byte accounting already requested by
+// metrics or streaming is re-applied to the new transport.
+func (rt *Runtime) SetTransport(t comm.Transport) {
+	rt.mustNotRun("SetTransport")
+	if t.NumRanks() != rt.n {
+		panic(fmt.Sprintf("amt: SetTransport: transport spans %d ranks, runtime %d", t.NumRanks(), rt.n))
+	}
+	if rt.nw.ByteAccounting() {
+		t.EnableByteAccounting()
+	}
+	rt.nw = t
+}
+
+// Transport returns the runtime's message transport.
+func (rt *Runtime) Transport() comm.Transport { return rt.nw }
 
 // SetFanout sets the arity k ≥ 2 of the k-ary collective tree. Larger k
 // flattens the tree (fewer hops on the critical path) at the cost of
@@ -181,6 +206,12 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 		"comm_duplicated_total":          "Messages duplicated by fault injection, by kind.",
 		"comm_messages_all_total":        "Transport messages sent, all kinds.",
 		"comm_bytes_all_total":           "Transport payload bytes sent, all kinds.",
+		"wire_frames_out_total":          "Encoded frames written to peer processes.",
+		"wire_bytes_out_total":           "Frame bytes written to peer processes.",
+		"wire_frames_in_total":           "Frames decoded from peer processes.",
+		"wire_bytes_in_total":            "Frame bytes read from peer processes.",
+		"wire_peers":                     "Connected peer processes.",
+		"wire_redials_total":             "Connection attempts beyond the first, per peer.",
 	} {
 		m.SetHelp(fam, help)
 	}
@@ -224,6 +255,15 @@ func (rt *Runtime) Metrics() *obs.Metrics {
 	}
 	rt.metrics.Counter("comm_messages_all_total").Store(msgs)
 	rt.metrics.Counter("comm_bytes_all_total").Store(bytes)
+	if ws, ok := rt.nw.(comm.WireStater); ok {
+		st := ws.WireStats()
+		rt.metrics.Counter("wire_frames_out_total").Store(st.FramesOut)
+		rt.metrics.Counter("wire_bytes_out_total").Store(st.BytesOut)
+		rt.metrics.Counter("wire_frames_in_total").Store(st.FramesIn)
+		rt.metrics.Counter("wire_bytes_in_total").Store(st.BytesIn)
+		rt.metrics.Counter("wire_peers").Store(st.Peers)
+		rt.metrics.Counter("wire_redials_total").Store(st.Redials)
+	}
 	return rt.metrics
 }
 
@@ -290,14 +330,18 @@ func (rt *Runtime) mustNotRun(op string) {
 	}
 }
 
-// Run executes main once per rank, each on its own goroutine, and
-// returns when every rank's main has returned. A panic on any rank is
-// re-raised on the caller after all other ranks are released.
+// Run executes main once per local rank, each on its own goroutine,
+// and returns when every local rank's main has returned. On the
+// default in-memory transport every rank is local; on a wire transport
+// this process drives only its LocalRange while sibling processes run
+// the rest. A panic on any rank is re-raised on the caller after all
+// other ranks are released.
 func (rt *Runtime) Run(main func(rc *Context)) {
 	rt.running = true
+	lo, hi := rt.nw.LocalRange()
 	var wg sync.WaitGroup
 	panics := make([]any, rt.n)
-	for r := 0; r < rt.n; r++ {
+	for r := lo; r < hi; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -376,6 +420,14 @@ func (rt *Runtime) SetFaults(sp comm.FaultSpec) error {
 		rt.retryBase = 4 * (sp.DelayMax + 2*slow)
 		if rt.retryBase < defaultRetryBase {
 			rt.retryBase = defaultRetryBase
+		}
+		// A socket transport adds real network latency on top of the
+		// injected delays; pace the retransmission clock to its measured
+		// round trip so cross-machine runs do not retransmit spuriously.
+		if rh, ok := rt.nw.(comm.RTTHinter); ok {
+			if floor := 4 * rh.RTTHint(); rt.retryBase < floor {
+				rt.retryBase = floor
+			}
 		}
 	}
 	rt.retryCap = sp.RetryCap

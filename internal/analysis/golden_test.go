@@ -127,15 +127,25 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestProtocolScoping loads the nodeterminism positive package under a
-// non-protocol import path: the analyzer must then stay silent.
+// TestProtocolScoping loads the nodeterminism positive package under
+// import paths the analyzer must not guard — a non-protocol utility
+// path, and the internal/comm/wire carve-out (the socket transport
+// legitimately reads the clock for dial backoff and RTT measurement) —
+// and requires silence on both.
 func TestProtocolScoping(t *testing.T) {
-	pkg := testLoader(t).LoadDir(filepath.Join("testdata", "nodeterminism", "pos"), "td/util/ndscope")
-	if len(pkg.TypeErrors) > 0 {
-		t.Fatalf("fixture does not typecheck: %v", pkg.TypeErrors)
-	}
-	runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, "nodeterminism")}}
-	for _, d := range runner.Run([]*Package{pkg}) {
-		t.Errorf("finding outside protocol packages: %s", d)
+	for name, importPath := range map[string]string{
+		"util": "td/util/ndscope",
+		"wire": "td/internal/comm/wire",
+	} {
+		t.Run(name, func(t *testing.T) {
+			pkg := testLoader(t).LoadDir(filepath.Join("testdata", "nodeterminism", "pos"), importPath)
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture does not typecheck: %v", pkg.TypeErrors)
+			}
+			runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, "nodeterminism")}}
+			for _, d := range runner.Run([]*Package{pkg}) {
+				t.Errorf("finding outside protocol packages: %s", d)
+			}
+		})
 	}
 }

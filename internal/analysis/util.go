@@ -122,7 +122,16 @@ func namedTypeName(t types.Type) string {
 // whose determinism the nodeterminism analyzer guards. Matching is on
 // path segments relative to any module prefix, so synthetic testdata
 // paths like td/internal/core/x qualify too.
+//
+// internal/comm/wire is carved out: it sits below the protocol — dial
+// backoff, RTT measurement and write deadlines legitimately read the
+// wall clock, and none of that state feeds a protocol decision (the
+// cross-transport identity test is the enforcement: results must be
+// bit-identical to the clock-free in-memory transport).
 func protocolPackage(path string) bool {
+	if matchesSegmentPath(path, "internal/comm/wire") {
+		return false
+	}
 	for _, p := range []string{
 		"internal/core",
 		"internal/lb",
@@ -130,19 +139,28 @@ func protocolPackage(path string) bool {
 		"internal/comm",
 		"internal/termination",
 	} {
-		i := strings.Index(path, p)
-		if i < 0 {
-			continue
-		}
-		if i > 0 && path[i-1] != '/' {
-			continue
-		}
-		rest := path[i+len(p):]
-		if rest == "" || rest[0] == '/' {
+		if matchesSegmentPath(path, p) {
 			return true
 		}
 	}
 	return false
+}
+
+// matchesSegmentPath reports whether p occurs in path on segment
+// boundaries: preceded by start-of-string or '/', followed by
+// end-of-string or '/'.
+func matchesSegmentPath(path, p string) bool {
+	for i := 0; ; i++ {
+		j := strings.Index(path[i:], p)
+		if j < 0 {
+			return false
+		}
+		i += j
+		if (i == 0 || path[i-1] == '/') &&
+			(i+len(p) == len(path) || path[i+len(p)] == '/') {
+			return true
+		}
+	}
 }
 
 // sendMethodNames are the method names the maporder and lockdiscipline

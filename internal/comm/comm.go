@@ -46,6 +46,15 @@ type Network struct {
 	closed  atomic.Bool
 	plan    atomic.Pointer[FaultPlan]
 
+	// lo/hi bound the local rank range [lo,hi); messages to ranks
+	// outside it are handed to forward (a partial network's uplink to
+	// its wire transport) after sequence stamping, accounting and fault
+	// injection — so a rank's fault dice are rolled exactly once, at the
+	// sending process, whatever transport carries the message. The full
+	// in-memory network has lo=0, hi=n, forward=nil.
+	lo, hi  int
+	forward func(Message)
+
 	// delayMu fences delayed-delivery registration against Close:
 	// readers (senders scheduling a delayed copy) join the inflight
 	// group under the read lock, and Close flips closed under the write
@@ -61,20 +70,75 @@ type Network struct {
 	countB    atomic.Bool
 }
 
-// NewNetwork creates a network of n ranks.
+// NewNetwork creates a network of n ranks, all of them local.
 func NewNetwork(n int) *Network {
+	return NewPartialNetwork(n, 0, n, nil)
+}
+
+// NewPartialNetwork creates the local slice [lo,hi) of an n-rank
+// network. Sends to local destinations behave exactly as on a full
+// network; sends to any other rank are stamped, accounted and
+// fault-filtered here and then handed to forward, which must carry them
+// to the process hosting the destination (see the wire package). The
+// receiving side delivers them via Inject. forward may be nil only for
+// the full range.
+func NewPartialNetwork(n, lo, hi int, forward func(Message)) *Network {
 	if n < 1 {
-		panic(fmt.Sprintf("comm: NewNetwork: n must be >= 1, got %d", n))
+		panic(fmt.Sprintf("comm: NewPartialNetwork: n must be >= 1, got %d", n))
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("comm: NewPartialNetwork: bad local range [%d,%d) of %d ranks", lo, hi, n))
+	}
+	if forward == nil && (lo != 0 || hi != n) {
+		panic("comm: NewPartialNetwork: partial range needs a forward hook")
 	}
 	nw := &Network{
 		n:       n,
-		inboxes: make([]*inbox, n),
+		lo:      lo,
+		hi:      hi,
+		forward: forward,
+		inboxes: make([]*inbox, hi-lo),
 		seq:     make([]atomic.Int64, n),
 	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = newInbox()
 	}
 	return nw
+}
+
+// LocalRange returns the half-open rank range [lo,hi) whose inboxes
+// live in this process.
+func (nw *Network) LocalRange() (lo, hi int) { return nw.lo, nw.hi }
+
+// inbox returns the local inbox of rank, panicking on a rank this
+// partial network does not host — always a routing bug.
+func (nw *Network) inbox(rank int) *inbox {
+	if rank < nw.lo || rank >= nw.hi {
+		panic(fmt.Sprintf("comm: rank %d is not local to [%d,%d)", rank, nw.lo, nw.hi))
+	}
+	return nw.inboxes[rank-nw.lo]
+}
+
+// deliver lands a stamped message: local destinations go straight to
+// their inbox, remote ones to the forward hook.
+func (nw *Network) deliver(m Message) {
+	if m.To >= nw.lo && m.To < nw.hi {
+		nw.inboxes[m.To-nw.lo].push(m)
+		return
+	}
+	nw.forward(m)
+}
+
+// Inject delivers a message that arrived from a remote peer straight
+// into its local destination inbox. It bypasses sequence stamping,
+// accounting and fault injection — the sending process applied all
+// three before the message crossed the wire — so it must never be used
+// for locally originated traffic. Unlike Send it is permitted on a
+// closed network: a remote delivery racing shutdown is enqueued (and
+// discarded with the inboxes) rather than treated as a protocol bug,
+// because the closing side cannot stop its peers instantaneously.
+func (nw *Network) Inject(m Message) {
+	nw.inbox(m.To).push(m)
 }
 
 // SetJitter makes every delivery wait a uniformly random duration up to
@@ -140,7 +204,7 @@ func (nw *Network) Send(m Message) {
 		nw.faultedDeliver(p, m)
 		return
 	}
-	nw.inboxes[m.To].push(m)
+	nw.deliver(m)
 }
 
 // faultedDeliver applies the fault plan to one message: it may be
@@ -163,7 +227,7 @@ func (nw *Network) faultedDeliver(p *FaultPlan, m Message) {
 func (nw *Network) deliverCopy(p *FaultPlan, m Message, salt uint64) {
 	delay := p.delayFor(m, salt)
 	if delay <= 0 {
-		nw.inboxes[m.To].push(m)
+		nw.deliver(m)
 		return
 	}
 	nw.deliverLater(m, delay)
@@ -180,7 +244,7 @@ func (nw *Network) deliverLater(m Message, delay time.Duration) {
 		// synchronously so the message is at least queued, mirroring an
 		// undelayed send racing Close.
 		nw.delayMu.RUnlock()
-		nw.inboxes[m.To].push(m)
+		nw.deliver(m)
 		return
 	}
 	nw.inflight.Add(1)
@@ -188,7 +252,7 @@ func (nw *Network) deliverLater(m Message, delay time.Duration) {
 	go func() {
 		defer nw.inflight.Done()
 		time.Sleep(delay)
-		nw.inboxes[m.To].push(m)
+		nw.deliver(m)
 	}()
 }
 
@@ -270,7 +334,7 @@ func (nw *Network) TotalBytes() int64 {
 // Recv pops the next message for rank without blocking; ok is false when
 // the inbox is empty.
 func (nw *Network) Recv(rank int) (Message, bool) {
-	return nw.inboxes[rank].pop()
+	return nw.inbox(rank).pop()
 }
 
 // RecvBatch drains every currently queued message for rank into buf and
@@ -280,13 +344,13 @@ func (nw *Network) Recv(rank int) (Message, bool) {
 // allocation-free. The caller should zero consumed entries it no longer
 // needs so payload references are released.
 func (nw *Network) RecvBatch(rank int, buf []Message) []Message {
-	return nw.inboxes[rank].popBatch(buf)
+	return nw.inbox(rank).popBatch(buf)
 }
 
 // RecvWait pops the next message for rank, blocking until one arrives or
 // the network is closed (ok=false).
 func (nw *Network) RecvWait(rank int) (Message, bool) {
-	return nw.inboxes[rank].popWait()
+	return nw.inbox(rank).popWait()
 }
 
 // RecvWaitTimeout is RecvWait with a deadline: it returns timedOut=true
@@ -294,12 +358,12 @@ func (nw *Network) RecvWait(rank int) (Message, bool) {
 // open. The runtime's retransmission pump uses it; the fault-free path
 // never calls it, so the timer cost is confined to faulted runs.
 func (nw *Network) RecvWaitTimeout(rank int, d time.Duration) (m Message, ok, timedOut bool) {
-	return nw.inboxes[rank].popWaitTimeout(d)
+	return nw.inbox(rank).popWaitTimeout(d)
 }
 
 // Pending returns the number of queued messages for rank.
 func (nw *Network) Pending(rank int) int {
-	return nw.inboxes[rank].len()
+	return nw.inbox(rank).len()
 }
 
 // Close wakes all blocked receivers; subsequent RecvWait calls drain

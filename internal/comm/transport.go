@@ -1,0 +1,86 @@
+package comm
+
+import "time"
+
+// Transport is the pluggable message substrate underneath the AMT
+// runtime. The in-memory Network is the reference implementation; the
+// wire package's socket transport embeds a partial Network and forwards
+// remote traffic over TCP or Unix domain sockets. The runtime holds a
+// Transport, never a concrete type, so the protocol stack above cannot
+// observe which one it is running on — the cross-transport identity
+// tests pin that down to the bit level.
+//
+// Semantics every implementation must provide:
+//
+//   - Send never blocks and stamps a per-sender sequence number; fault
+//     plans (SetFaultPlan) are applied exactly once, at the sending
+//     side, keyed by that sequence number.
+//   - Per-sender FIFO order is preserved for undelayed deliveries.
+//   - Recv* methods serve only ranks inside LocalRange; a transport
+//     hosting a slice of a larger job forwards everything else.
+//   - Close drains: no message accepted by Send before Close may be
+//     lost because of Close (delayed deliveries land, outbound wire
+//     queues flush before the connection drops).
+type Transport interface {
+	// NumRanks returns the total rank count of the job, across every
+	// process participating in it.
+	NumRanks() int
+	// LocalRange returns the contiguous half-open rank range [lo, hi)
+	// hosted by this transport instance. The in-memory Network hosts
+	// every rank: (0, NumRanks).
+	LocalRange() (lo, hi int)
+
+	Send(Message)
+	Recv(rank int) (Message, bool)
+	RecvBatch(rank int, buf []Message) []Message
+	RecvWait(rank int) (Message, bool)
+	RecvWaitTimeout(rank int, d time.Duration) (m Message, ok, timedOut bool)
+	Pending(rank int) int
+
+	Close()
+	Closed() bool
+
+	SetFaultPlan(*FaultPlan)
+	SetJitter(max time.Duration)
+
+	EnableByteAccounting()
+	ByteAccounting() bool
+	TotalSent() int64
+	SentByKind(Kind) int64
+	BytesByKind(Kind) int64
+	DroppedByKind(Kind) int64
+	DuplicatedByKind(Kind) int64
+	TotalDropped() int64
+	TotalDuplicated() int64
+	TotalBytes() int64
+}
+
+// The in-memory Network is the reference Transport.
+var _ Transport = (*Network)(nil)
+
+// WireStats are the cross-process counters of a socket-backed
+// transport: encoded frames and payload bytes in each direction, the
+// number of connected peer processes, and redials (connection attempts
+// beyond the first per peer). All counters are cumulative.
+type WireStats struct {
+	FramesOut, BytesOut int64
+	FramesIn, BytesIn   int64
+	Peers               int64
+	Redials             int64
+}
+
+// WireStater is implemented by transports that move bytes between
+// processes; the runtime folds the stats into its metrics registry and
+// observability frames. The in-memory Network does not implement it.
+type WireStater interface {
+	WireStats() WireStats
+}
+
+// RTTHinter is implemented by transports that can estimate the round
+// trip time to their slowest peer. The runtime folds the estimate into
+// the default retransmission timeout of its reliability layer, so
+// retries pace to real network latency instead of the in-memory
+// defaults.
+type RTTHinter interface {
+	RTTHint() time.Duration
+}

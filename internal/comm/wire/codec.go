@@ -1,0 +1,433 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"temperedlb/internal/comm"
+)
+
+// Version is the wire protocol version carried in every frame header.
+// Bump it on ANY change to the frame layout, the message body layout,
+// or the meaning of an assigned payload id; peers speaking different
+// versions refuse each other at the first frame rather than
+// misinterpreting bytes.
+const Version = 1
+
+// Frame types. A frame is: u32 body length (big-endian, covering the
+// two header bytes and the body) | u8 version | u8 type | body.
+const (
+	frameHello   byte = 1 + iota // handshake: job geometry, sent once per connection
+	frameMessage                 // one comm.Message
+	frameBye                     // orderly end-of-stream marker; no body
+)
+
+// MaxFrameSize bounds a frame's declared length. The runtime's
+// messages are tiny (envelopes plus a knowledge vector or an object
+// state); anything approaching this limit is a corrupt or hostile
+// stream and is rejected before allocation.
+const MaxFrameSize = 1 << 24
+
+// maxPayloadDepth bounds Any-payload nesting so a crafted frame cannot
+// recurse the decoder into stack exhaustion. Real traffic nests twice
+// (envelope → application payload).
+const maxPayloadDepth = 32
+
+// frameHeaderLen is the byte length of the version+type header counted
+// inside the frame's declared length.
+const frameHeaderLen = 2
+
+// PayloadID names a registered payload codec on the wire. IDs are part
+// of the protocol: the same type must carry the same id in every
+// process of a job (and changing an assignment is a Version bump).
+// Id 0 is reserved for nil. The runtime owns 1–31, the balancer layers
+// 32–63; applications must register at 64 and above.
+type PayloadID uint16
+
+// payloadEntry is one registered codec, with the typed encode/decode
+// functions wrapped to any.
+type payloadEntry struct {
+	id  PayloadID
+	typ reflect.Type
+	enc func(*Encoder, any)
+	dec func(*Decoder) any
+}
+
+var (
+	regMu     sync.RWMutex
+	regByType = map[reflect.Type]*payloadEntry{}
+	regByID   = map[PayloadID]*payloadEntry{}
+)
+
+// RegisterPayload installs the wire codec for payload type T under the
+// given id. Both ends of a job must register the same types under the
+// same ids (normally via package init, so importing the package that
+// owns the type is enough). Registering a duplicate id or type panics:
+// payload identity is protocol, not configuration.
+//
+// The encode function must emit a deterministic byte sequence — fixed
+// field order, fixed widths — because transport bytes feed accounting
+// that experiments compare across runs.
+func RegisterPayload[T any](id PayloadID, enc func(*Encoder, T), dec func(*Decoder) T) {
+	if id == 0 {
+		panic("wire: RegisterPayload: id 0 is reserved for nil payloads")
+	}
+	var zero T
+	typ := reflect.TypeOf(zero)
+	if typ == nil {
+		panic("wire: RegisterPayload: T must not be an interface type")
+	}
+	e := &payloadEntry{
+		id:  id,
+		typ: typ,
+		enc: func(en *Encoder, v any) { enc(en, v.(T)) },
+		dec: func(d *Decoder) any { return dec(d) },
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, dup := regByID[id]; dup {
+		panic(fmt.Sprintf("wire: payload id %d already registered for %v", id, prev.typ))
+	}
+	if prev, dup := regByType[typ]; dup {
+		panic(fmt.Sprintf("wire: payload type %v already registered as id %d", typ, prev.id))
+	}
+	regByID[id] = e
+	regByType[typ] = e
+}
+
+func lookupType(t reflect.Type) *payloadEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return regByType[t]
+}
+
+func lookupID(id PayloadID) *payloadEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return regByID[id]
+}
+
+// Encoder appends big-endian fixed-width fields to a buffer. The zero
+// value is ready to use; Bytes returns the accumulated encoding.
+// Encoders are not goroutine-safe.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer (owned by the encoder until Reset).
+func (e *Encoder) Bytes() []byte {
+	//lint:ignore scratchescape documented contract: the slice is owned by the encoder until Reset
+	return e.buf
+}
+
+// Reset truncates the encoder, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) U8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Encoder) U16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *Encoder) U32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) U64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) I32(v int32)  { e.U32(uint32(v)) }
+func (e *Encoder) I64(v int64)  { e.U64(uint64(v)) }
+
+// F64 encodes the exact IEEE-754 bits, so a float survives the wire
+// bit-identically (including negative zero and NaN payloads).
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64Slice encodes a []float64 preserving nil-versus-empty: the length
+// word is 0 for nil and len+1 otherwise. The distinction is protocol —
+// a nil collective payload means "barrier", an empty one is a real
+// zero-width result.
+func (e *Encoder) F64Slice(v []float64) {
+	if v == nil {
+		e.U32(0)
+		return
+	}
+	e.U32(uint32(len(v)) + 1)
+	for _, f := range v {
+		e.F64(f)
+	}
+}
+
+// Any encodes a registered payload value prefixed by its PayloadID, or
+// id 0 for nil. Unregistered types panic with the registration hint:
+// sending such a value is a deploy-time wiring bug, not a runtime
+// condition to recover from.
+func (e *Encoder) Any(v any) {
+	if v == nil {
+		e.U16(0)
+		return
+	}
+	ent := lookupType(reflect.TypeOf(v))
+	if ent == nil {
+		panic(fmt.Sprintf("wire: no payload codec registered for %T; register it with wire.RegisterPayload (application ids start at 64)", v))
+	}
+	e.U16(uint16(ent.id))
+	ent.enc(e, v)
+}
+
+// Decoder reads the Encoder's format back with a sticky error: the
+// first failed read records the error and every subsequent read
+// returns a zero value without advancing. Decoding malformed input is
+// therefore always safe — check Err once at the end. Decoders never
+// panic on truncated, oversized or garbage input.
+type Decoder struct {
+	b     []byte
+	off   int
+	depth int
+	err   error
+}
+
+// NewDecoder decodes the given buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Failf records a decoding error from a registered payload codec (for
+// validation the primitive readers cannot express, e.g. a claimed
+// element count exceeding the remaining bytes). Like every decoder
+// error it is sticky: the first one wins.
+func (d *Decoder) Failf(format string, args ...any) { d.fail(format, args...) }
+
+// take returns the next n bytes, or nil after recording a truncation
+// error.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated input: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *Decoder) I32() int32   { return int32(d.U32()) }
+func (d *Decoder) I64() int64   { return int64(d.U64()) }
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool accepts only the canonical encodings 0 and 1, keeping the wire
+// format one-to-one: every value has exactly one byte sequence.
+func (d *Decoder) Bool() bool {
+	switch b := d.U8(); b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bool byte %d (want 0 or 1)", b)
+		return false
+	}
+}
+
+// F64Slice decodes F64Slice's nil-preserving layout, validating the
+// claimed length against the remaining bytes before allocating.
+func (d *Decoder) F64Slice() []float64 {
+	word := d.U32()
+	if word == 0 || d.err != nil {
+		return nil
+	}
+	n := int(word - 1)
+	if n*8 > d.Remaining() {
+		d.fail("float slice of %d entries exceeds %d remaining bytes", n, d.Remaining())
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.F64()
+	}
+	return v
+}
+
+// Any decodes one registered payload (or nil for id 0). Unknown ids
+// and over-deep nesting are recorded as errors, never panics.
+func (d *Decoder) Any() any {
+	if d.err != nil {
+		return nil
+	}
+	d.depth++
+	defer func() { d.depth-- }()
+	if d.depth > maxPayloadDepth {
+		d.fail("payload nesting deeper than %d", maxPayloadDepth)
+		return nil
+	}
+	id := PayloadID(d.U16())
+	if id == 0 || d.err != nil {
+		return nil
+	}
+	ent := lookupID(id)
+	if ent == nil {
+		d.fail("unknown payload id %d (peer registered a codec this binary lacks?)", id)
+		return nil
+	}
+	return ent.dec(d)
+}
+
+// AppendMessage appends one complete message frame (header included)
+// for m to buf and returns the extended slice. The message body layout
+// is, in order: u32 From, u32 To, u16 Kind, i32 Handler, i64 Seq,
+// i64 MsgID, then the Any-encoded Data. Encoding is deterministic:
+// equal messages produce equal bytes.
+func AppendMessage(buf []byte, m comm.Message) []byte {
+	var e Encoder
+	e.buf = buf
+	start := beginFrame(&e, frameMessage)
+	e.U32(uint32(m.From))
+	e.U32(uint32(m.To))
+	e.U16(uint16(m.Kind))
+	e.I32(m.Handler)
+	e.I64(m.Seq)
+	e.I64(m.MsgID)
+	e.Any(m.Data)
+	return endFrame(&e, start)
+}
+
+// DecodeMessage decodes a message frame body (the bytes after the
+// version and type header). It errors — never panics — on truncated,
+// oversized, trailing-garbage or unregistered-payload input.
+func DecodeMessage(body []byte, totalRanks int) (comm.Message, error) {
+	d := NewDecoder(body)
+	var m comm.Message
+	m.From = int(d.U32())
+	m.To = int(d.U32())
+	m.Kind = comm.Kind(d.U16())
+	m.Handler = d.I32()
+	m.Seq = d.I64()
+	m.MsgID = d.I64()
+	m.Data = d.Any()
+	if d.err != nil {
+		return comm.Message{}, d.err
+	}
+	if d.Remaining() != 0 {
+		return comm.Message{}, fmt.Errorf("wire: %d trailing bytes after message", d.Remaining())
+	}
+	if m.From < 0 || m.From >= totalRanks || m.To < 0 || m.To >= totalRanks {
+		return comm.Message{}, fmt.Errorf("wire: message endpoints %d->%d outside [0,%d)", m.From, m.To, totalRanks)
+	}
+	if m.Kind < 0 || m.Kind >= comm.MaxKinds {
+		return comm.Message{}, fmt.Errorf("wire: message kind %d outside [0,%d)", m.Kind, comm.MaxKinds)
+	}
+	return m, nil
+}
+
+// helloBody is the decoded handshake frame: the sender's identity and
+// its view of the job geometry. Every field is validated against the
+// receiver's own configuration before any message flows.
+type helloBody struct {
+	JobID  uint64
+	Ranks  int
+	Nodes  int
+	Node   int
+	Lo, Hi int
+}
+
+func appendHello(buf []byte, h helloBody) []byte {
+	var e Encoder
+	e.buf = buf
+	start := beginFrame(&e, frameHello)
+	e.U64(h.JobID)
+	e.U32(uint32(h.Ranks))
+	e.U32(uint32(h.Nodes))
+	e.U32(uint32(h.Node))
+	e.U32(uint32(h.Lo))
+	e.U32(uint32(h.Hi))
+	return endFrame(&e, start)
+}
+
+func decodeHello(body []byte) (helloBody, error) {
+	d := NewDecoder(body)
+	h := helloBody{
+		JobID: d.U64(),
+		Ranks: int(d.U32()),
+		Nodes: int(d.U32()),
+		Node:  int(d.U32()),
+		Lo:    int(d.U32()),
+		Hi:    int(d.U32()),
+	}
+	if d.err != nil {
+		return helloBody{}, d.err
+	}
+	if d.Remaining() != 0 {
+		return helloBody{}, fmt.Errorf("wire: %d trailing bytes after hello", d.Remaining())
+	}
+	return h, nil
+}
+
+// appendBye appends the empty-body BYE frame.
+func appendBye(buf []byte) []byte {
+	var e Encoder
+	e.buf = buf
+	start := beginFrame(&e, frameBye)
+	return endFrame(&e, start)
+}
+
+// beginFrame reserves the length word and writes the version+type
+// header; endFrame backpatches the length.
+func beginFrame(e *Encoder, ftype byte) int {
+	start := len(e.buf)
+	e.U32(0) // length placeholder
+	e.U8(Version)
+	e.U8(ftype)
+	return start
+}
+
+func endFrame(e *Encoder, start int) []byte {
+	binary.BigEndian.PutUint32(e.buf[start:], uint32(len(e.buf)-start-4))
+	//lint:ignore scratchescape documented contract: the frame aliases the encoder's buffer until Reset
+	return e.buf
+}

@@ -1,0 +1,690 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"temperedlb/internal/comm"
+)
+
+// NodeSpec describes one process of a job: its node index, the
+// contiguous global rank range it hosts, and the address its transport
+// listens on.
+type NodeSpec struct {
+	Node int    `json:"node"`
+	Lo   int    `json:"lo"` // global rank range [Lo,Hi)
+	Hi   int    `json:"hi"`
+	Addr string `json:"addr"`
+}
+
+// SplitRanks partitions n ranks over m nodes into contiguous,
+// near-even ranges (the first n%m nodes get one extra rank). Every
+// process of a job must derive its range from this function so the
+// rank→node map needs no negotiation beyond addresses.
+func SplitRanks(n, m int) []NodeSpec {
+	if n < 1 || m < 1 || m > n {
+		panic(fmt.Sprintf("wire: SplitRanks(%d, %d): need 1 <= nodes <= ranks", n, m))
+	}
+	specs := make([]NodeSpec, m)
+	base, extra := n/m, n%m
+	lo := 0
+	for i := range specs {
+		size := base
+		if i < extra {
+			size++
+		}
+		specs[i] = NodeSpec{Node: i, Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return specs
+}
+
+// Config parameterizes one node's transport.
+type Config struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Ranks is the job's total rank count; Nodes the process count;
+	// Self this process's node index. The local rank range is
+	// SplitRanks(Ranks, Nodes)[Self].
+	Ranks, Nodes, Self int
+	// Listen is the address to listen on. Empty defaults to
+	// "127.0.0.1:0" for tcp; it is required for unix.
+	Listen string
+	// JobID guards against cross-job connections: peers with a
+	// different JobID are refused at handshake. Zero disables the check
+	// only if both sides use zero.
+	JobID uint64
+	// DialTimeout bounds the total dial-plus-backoff budget per peer
+	// (default 15s — peers may not have started listening yet).
+	DialTimeout time.Duration
+	// ConnectTimeout bounds Connect's wait for every peer's inbound
+	// handshake (default 30s).
+	ConnectTimeout time.Duration
+	// DrainTimeout bounds the graceful close-drain: how long Close
+	// waits for outbound queues to flush and for every peer's BYE
+	// before force-closing connections (default 10s).
+	DrainTimeout time.Duration
+	// Logf receives connection-lifecycle and failure lines; nil is
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) setDefaults() error {
+	switch cfg.Network {
+	case "tcp":
+		if cfg.Listen == "" {
+			cfg.Listen = "127.0.0.1:0"
+		}
+	case "unix":
+		if cfg.Listen == "" {
+			return errors.New("wire: unix transport needs an explicit Listen socket path")
+		}
+	default:
+		return fmt.Errorf("wire: unknown network %q (want tcp or unix)", cfg.Network)
+	}
+	if cfg.Ranks < 1 || cfg.Nodes < 1 || cfg.Nodes > cfg.Ranks {
+		return fmt.Errorf("wire: bad geometry: %d ranks over %d nodes", cfg.Ranks, cfg.Nodes)
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.Nodes {
+		return fmt.Errorf("wire: self node %d outside [0,%d)", cfg.Self, cfg.Nodes)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 15 * time.Second
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Transport is a comm.Transport that hosts a contiguous slice of a
+// job's ranks in this process and carries everything else over TCP or
+// Unix-domain sockets. It embeds a partial comm.Network, so local
+// traffic, sequence stamping, accounting and fault injection are
+// byte-for-byte the in-memory implementation; only delivery to remote
+// ranks differs.
+//
+// Lifecycle: New (listen) → Connect (full mesh handshake) → hand to
+// amt.New via WithTransport → Close (graceful drain). Each ordered
+// peer pair uses two unidirectional connections — the dialer writes,
+// the accepter reads — so no tie-breaking is needed and per-connection
+// byte order gives per-sender FIFO for free.
+type Transport struct {
+	*comm.Network
+	cfg    Config
+	lo, hi int
+
+	ln       net.Listener
+	addr     string
+	nodes    []NodeSpec // set by Connect, indexed by node id
+	rankNode []int      // global rank → node id
+
+	peers []*peer // indexed by node id; nil at Self and before Connect
+
+	mu       sync.Mutex
+	inbound  map[int]net.Conn // node id → accepted (read) connection
+	inCond   *sync.Cond
+	accepted []net.Conn // every accepted conn, for force-close
+
+	readerWG sync.WaitGroup
+	closing  atomic.Bool
+	closed   atomic.Bool
+	failErr  atomic.Pointer[error]
+
+	framesOut, bytesOut atomic.Int64
+	framesIn, bytesIn   atomic.Int64
+	redials             atomic.Int64
+	connectedPeers      atomic.Int64
+	rttMax              atomic.Int64 // nanoseconds, max peer dial round trip
+}
+
+// peer owns the outbound connection to one remote node: an unbounded
+// queue drained by a writer goroutine, so Send never blocks on the
+// socket. The writer flushes whenever it catches up with the queue and
+// ends the stream with a BYE frame once drain begins.
+type peer struct {
+	t    *Transport
+	node int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []comm.Message
+	bye   bool
+
+	conn net.Conn
+	done chan struct{}
+}
+
+// New validates the configuration and starts listening; remote ranks
+// are not reachable until Connect. The bound address (useful with
+// tcp port 0) is available via Addr immediately.
+func New(cfg Config) (*Transport, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	spec := SplitRanks(cfg.Ranks, cfg.Nodes)[cfg.Self]
+	ln, err := net.Listen(cfg.Network, cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s %s: %w (address already in use? stale unix socket?)", cfg.Network, cfg.Listen, err)
+	}
+	t := &Transport{
+		cfg:     cfg,
+		lo:      spec.Lo,
+		hi:      spec.Hi,
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		inbound: map[int]net.Conn{},
+	}
+	t.inCond = sync.NewCond(&t.mu)
+	t.Network = comm.NewPartialNetwork(cfg.Ranks, spec.Lo, spec.Hi, t.forwardRemote)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's bound address.
+func (t *Transport) Addr() string { return t.addr }
+
+// Err returns the first fatal transport error (lost peer, handshake
+// refusal, decode failure), or nil. A non-nil Err means the transport
+// shut itself down; runs in flight will observe a closed network.
+func (t *Transport) Err() error {
+	if p := t.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Connect installs the job's rank→address map and establishes the full
+// mesh: it dials every other node (with backoff — peers may start in
+// any order), sends the handshake, and waits until every peer has
+// dialed us back. After Connect returns nil the transport is ready for
+// Run.
+func (t *Transport) Connect(nodes []NodeSpec) error {
+	if len(nodes) != t.cfg.Nodes {
+		return fmt.Errorf("wire: Connect got %d node specs, want %d", len(nodes), t.cfg.Nodes)
+	}
+	specs := append([]NodeSpec(nil), nodes...)
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Node < specs[j].Node })
+	want := SplitRanks(t.cfg.Ranks, t.cfg.Nodes)
+	for i, s := range specs {
+		if s.Node != i {
+			return fmt.Errorf("wire: node specs not a permutation of 0..%d (got node %d at position %d)", t.cfg.Nodes-1, s.Node, i)
+		}
+		if s.Lo != want[i].Lo || s.Hi != want[i].Hi {
+			return fmt.Errorf("wire: node %d announces ranks [%d,%d), want [%d,%d) — peers disagree on -ranks/-nodes", i, s.Lo, s.Hi, want[i].Lo, want[i].Hi)
+		}
+		if s.Addr == "" {
+			return fmt.Errorf("wire: node %d has no address", i)
+		}
+	}
+	if self := specs[t.cfg.Self]; self.Addr != t.addr {
+		// Tolerate equivalent spellings only when the spec was taken
+		// verbatim from our own announcement; otherwise flag the mismatch.
+		t.cfg.Logf("wire: note: self address in map is %s, listening on %s", self.Addr, t.addr)
+	}
+	t.nodes = specs
+	t.rankNode = make([]int, t.cfg.Ranks)
+	for _, s := range specs {
+		for r := s.Lo; r < s.Hi; r++ {
+			t.rankNode[r] = s.Node
+		}
+	}
+	t.peers = make([]*peer, t.cfg.Nodes)
+
+	// Dial every peer concurrently; each failure is fatal for Connect.
+	errs := make([]error, t.cfg.Nodes)
+	var wg sync.WaitGroup
+	for i := range specs {
+		if i == t.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			errs[node] = t.dialPeer(node)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Close()
+			return err
+		}
+	}
+
+	// Wait for every peer's inbound handshake.
+	deadline := time.Now().Add(t.cfg.ConnectTimeout)
+	timer := time.AfterFunc(t.cfg.ConnectTimeout, func() { t.inCond.Broadcast() })
+	defer timer.Stop()
+	t.mu.Lock()
+	for len(t.inbound) < t.cfg.Nodes-1 {
+		if err := t.Err(); err != nil {
+			t.mu.Unlock()
+			t.Close()
+			return err
+		}
+		if time.Now().After(deadline) {
+			missing := t.missingPeersLocked()
+			t.mu.Unlock()
+			t.Close()
+			return fmt.Errorf("wire: node %d: peer timeout: no handshake from nodes %v within %v (peer not started? wrong address in map?)", t.cfg.Self, missing, t.cfg.ConnectTimeout)
+		}
+		t.inCond.Wait()
+	}
+	t.mu.Unlock()
+	t.cfg.Logf("wire: node %d connected: %d peers, ranks [%d,%d) local", t.cfg.Self, t.cfg.Nodes-1, t.lo, t.hi)
+	return nil
+}
+
+// missingPeersLocked lists node ids that have not handshaken yet.
+func (t *Transport) missingPeersLocked() []int {
+	var missing []int
+	for i := 0; i < t.cfg.Nodes; i++ {
+		if i == t.cfg.Self {
+			continue
+		}
+		if _, ok := t.inbound[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// dialPeer establishes the outbound (write) connection to one node,
+// retrying with capped exponential backoff until DialTimeout: job
+// processes start in arbitrary order, so early connection refusals are
+// expected, not errors.
+func (t *Transport) dialPeer(node int) error {
+	spec := t.nodes[node]
+	var (
+		conn    net.Conn
+		err     error
+		backoff = 25 * time.Millisecond
+	)
+	start := time.Now()
+	deadline := start.Add(t.cfg.DialTimeout)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			t.redials.Add(1)
+		}
+		attemptStart := time.Now()
+		conn, err = net.DialTimeout(t.cfg.Network, spec.Addr, time.Until(deadline))
+		if err == nil {
+			if rtt := time.Since(attemptStart); rtt > time.Duration(t.rttMax.Load()) {
+				t.rttMax.Store(int64(rtt))
+			}
+			break
+		}
+		if t.closing.Load() {
+			return fmt.Errorf("wire: dial node %d: transport closed", node)
+		}
+		if !time.Now().Add(backoff).Before(deadline) {
+			return fmt.Errorf("wire: dial node %d at %s: %w (gave up after %v)", node, spec.Addr, err, time.Since(start))
+		}
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	hello := appendHello(nil, helloBody{
+		JobID: t.cfg.JobID, Ranks: t.cfg.Ranks, Nodes: t.cfg.Nodes,
+		Node: t.cfg.Self, Lo: t.lo, Hi: t.hi,
+	})
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("wire: handshake to node %d: %w", node, err)
+	}
+	p := &peer{t: t, node: node, conn: conn, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	t.peers[node] = p
+	t.connectedPeers.Add(1)
+	go p.writeLoop()
+	return nil
+}
+
+// acceptLoop accepts inbound (read) connections for the transport's
+// lifetime. Each must open with a valid HELLO before any message is
+// honored.
+func (t *Transport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.accepted = append(t.accepted, conn)
+		t.mu.Unlock()
+		go t.handshakeInbound(conn)
+	}
+}
+
+// handshakeInbound validates a new inbound connection's HELLO and, on
+// success, starts its read loop. Any handshake failure — version or
+// geometry mismatch, garbage, a stray client — is fatal for the whole
+// transport: the listener is job-private (loopback or a unix socket),
+// so an invalid connection means the job is miswired, and failing
+// loudly beats proceeding half-connected.
+func (t *Transport) handshakeInbound(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(t.cfg.ConnectTimeout))
+	br := bufio.NewReader(conn)
+	ftype, body, err := readFrame(br, nil)
+	if err != nil {
+		t.fail(fmt.Errorf("wire: inbound handshake from %v: %w", conn.RemoteAddr(), err))
+		conn.Close()
+		return
+	}
+	if ftype != frameHello {
+		t.fail(fmt.Errorf("wire: inbound connection from %v opened with frame type %d, want HELLO", conn.RemoteAddr(), ftype))
+		conn.Close()
+		return
+	}
+	h, err := decodeHello(body)
+	if err != nil {
+		t.fail(fmt.Errorf("wire: inbound handshake from %v: %w", conn.RemoteAddr(), err))
+		conn.Close()
+		return
+	}
+	if err := t.checkHello(h); err != nil {
+		t.fail(err)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	t.mu.Lock()
+	if _, dup := t.inbound[h.Node]; dup {
+		t.mu.Unlock()
+		t.fail(fmt.Errorf("wire: node %d handshook twice (duplicate -node index in the job?)", h.Node))
+		conn.Close()
+		return
+	}
+	t.inbound[h.Node] = conn
+	t.mu.Unlock()
+	t.inCond.Broadcast()
+	t.readerWG.Add(1)
+	go t.readLoop(h.Node, conn, br)
+}
+
+// checkHello validates a peer's announced geometry against ours.
+func (t *Transport) checkHello(h helloBody) error {
+	if h.JobID != t.cfg.JobID {
+		return fmt.Errorf("wire: job id mismatch: peer %#x, ours %#x (two jobs sharing an address?)", h.JobID, t.cfg.JobID)
+	}
+	if h.Ranks != t.cfg.Ranks || h.Nodes != t.cfg.Nodes {
+		return fmt.Errorf("wire: geometry mismatch: peer says %d ranks / %d nodes, ours %d / %d", h.Ranks, h.Nodes, t.cfg.Ranks, t.cfg.Nodes)
+	}
+	if h.Node < 0 || h.Node >= t.cfg.Nodes || h.Node == t.cfg.Self {
+		return fmt.Errorf("wire: peer announces node id %d (ours is %d of %d)", h.Node, t.cfg.Self, t.cfg.Nodes)
+	}
+	want := SplitRanks(t.cfg.Ranks, t.cfg.Nodes)[h.Node]
+	if h.Lo != want.Lo || h.Hi != want.Hi {
+		return fmt.Errorf("wire: node %d announces ranks [%d,%d), want [%d,%d)", h.Node, h.Lo, h.Hi, want.Lo, want.Hi)
+	}
+	return nil
+}
+
+// readLoop decodes message frames from one peer until its BYE (orderly
+// shutdown), a transport-wide close, or an error (fatal: a lost peer
+// wedges the collective protocol, so fail fast and loudly rather than
+// hang the epoch).
+func (t *Transport) readLoop(node int, conn net.Conn, br *bufio.Reader) {
+	defer t.readerWG.Done()
+	var buf []byte
+	for {
+		ftype, body, err := readFrame(br, buf)
+		if err != nil {
+			if t.closing.Load() {
+				return
+			}
+			t.fail(fmt.Errorf("wire: connection from node %d lost before BYE: %w", node, err))
+			return
+		}
+		buf = body[:0]
+		switch ftype {
+		case frameBye:
+			return
+		case frameMessage:
+			m, err := DecodeMessage(body, t.cfg.Ranks)
+			if err != nil {
+				t.fail(fmt.Errorf("wire: bad frame from node %d: %w", node, err))
+				return
+			}
+			if m.To < t.lo || m.To >= t.hi {
+				t.fail(fmt.Errorf("wire: node %d misrouted a message for rank %d to node %d (hosts [%d,%d))", node, m.To, t.cfg.Self, t.lo, t.hi))
+				return
+			}
+			t.framesIn.Add(1)
+			t.bytesIn.Add(int64(len(body)) + 4 + frameHeaderLen)
+			t.Network.Inject(m)
+		default:
+			t.fail(fmt.Errorf("wire: unknown frame type %d from node %d", ftype, node))
+			return
+		}
+	}
+}
+
+// forwardRemote is the partial network's uplink: it runs on the
+// sending rank's goroutine (or a delayed-delivery goroutine) after
+// stamping, accounting and fault dice, and only enqueues — the per-peer
+// writer goroutine owns the socket.
+func (t *Transport) forwardRemote(m comm.Message) {
+	p := t.peers[t.rankNode[m.To]]
+	if p == nil {
+		panic(fmt.Sprintf("wire: send to rank %d before Connect established node %d", m.To, t.rankNode[m.To]))
+	}
+	p.enqueue(m)
+}
+
+func (p *peer) enqueue(m comm.Message) {
+	p.mu.Lock()
+	p.queue = append(p.queue, m)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// beginBye asks the writer to flush everything queued and end the
+// stream; it returns immediately.
+func (p *peer) beginBye() {
+	p.mu.Lock()
+	p.bye = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// writeLoop drains the queue into the socket, flushing whenever it
+// catches up, and finishes with BYE + flush + write-side close once
+// drain is requested and the queue is empty. Socket writes happen
+// outside the queue lock.
+func (p *peer) writeLoop() {
+	defer close(p.done)
+	bw := bufio.NewWriter(p.conn)
+	var batch []comm.Message
+	var buf []byte
+	dead := false
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.bye {
+			p.cond.Wait()
+		}
+		batch = append(batch[:0], p.queue...)
+		clear(p.queue)
+		p.queue = p.queue[:0]
+		finish := p.bye
+		p.mu.Unlock()
+
+		if !dead {
+			for i := range batch {
+				buf = AppendMessage(buf[:0], batch[i])
+				if _, err := bw.Write(buf); err != nil {
+					p.t.fail(fmt.Errorf("wire: write to node %d: %w", p.node, err))
+					dead = true
+					break
+				}
+				p.t.framesOut.Add(1)
+				p.t.bytesOut.Add(int64(len(buf)))
+			}
+		}
+		clear(batch)
+		if finish {
+			if !dead {
+				if _, err := bw.Write(appendBye(nil)); err == nil {
+					bw.Flush()
+				}
+				type closeWriter interface{ CloseWrite() error }
+				if cw, ok := p.conn.(closeWriter); ok {
+					cw.CloseWrite()
+				}
+			}
+			return
+		}
+		if !dead {
+			if err := bw.Flush(); err != nil {
+				p.t.fail(fmt.Errorf("wire: flush to node %d: %w", p.node, err))
+				dead = true
+			}
+		}
+	}
+}
+
+// fail records the first fatal error and tears the transport down
+// asynchronously, so every rank blocked in a receive observes a closed
+// network (a loud panic) instead of hanging forever on a dead peer.
+func (t *Transport) fail(err error) {
+	if t.closing.Load() {
+		return
+	}
+	if !t.failErr.CompareAndSwap(nil, &err) {
+		return
+	}
+	t.cfg.Logf("wire: fatal: %v", err)
+	go t.Close()
+}
+
+// Close drains and shuts down. The sequence guarantees the close-drain
+// contract — nothing accepted by Send before Close is lost on our
+// account:
+//
+//  1. close the embedded network: local Sends now panic, in-flight
+//     delayed deliveries (including remote-bound ones) are waited for,
+//     local inboxes wake their receivers;
+//  2. ask every peer writer to flush its queue, append BYE and close
+//     the write side; wait for them (bounded by DrainTimeout via write
+//     deadlines);
+//  3. stop accepting, then wait — again bounded by DrainTimeout — for
+//     every peer's BYE so late inbound messages (acks, duplicates) are
+//     still injected while our process is alive;
+//  4. force-close whatever is left.
+//
+// Close is idempotent and safe to call from any goroutine.
+func (t *Transport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	t.closing.Store(true)
+	t.Network.Close()
+
+	deadline := time.Now().Add(t.cfg.DrainTimeout)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.conn.SetWriteDeadline(deadline)
+		p.beginBye()
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.done:
+		case <-time.After(time.Until(deadline)):
+			p.conn.Close() // writer is stuck; abort it
+			<-p.done
+		}
+	}
+
+	t.ln.Close()
+	t.inCond.Broadcast()
+
+	readersDone := make(chan struct{})
+	go func() {
+		t.readerWG.Wait()
+		close(readersDone)
+	}()
+	select {
+	case <-readersDone:
+	case <-time.After(time.Until(deadline)):
+		t.cfg.Logf("wire: node %d: drain timeout; force-closing inbound connections", t.cfg.Self)
+	}
+
+	t.mu.Lock()
+	conns := append([]net.Conn(nil), t.accepted...)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	<-readersDone
+}
+
+// WireStats implements comm.WireStater.
+func (t *Transport) WireStats() comm.WireStats {
+	return comm.WireStats{
+		FramesOut: t.framesOut.Load(),
+		BytesOut:  t.bytesOut.Load(),
+		FramesIn:  t.framesIn.Load(),
+		BytesIn:   t.bytesIn.Load(),
+		Peers:     t.connectedPeers.Load(),
+		Redials:   t.redials.Load(),
+	}
+}
+
+// RTTHint implements comm.RTTHinter: the slowest peer's connection
+// setup time, the transport's best cheap estimate of one round trip.
+func (t *Transport) RTTHint() time.Duration {
+	return time.Duration(t.rttMax.Load())
+}
+
+// readFrame reads one length-prefixed frame from br, reusing buf for
+// the body when it fits. It validates the length bounds and the
+// protocol version before returning the body.
+func readFrame(br *bufio.Reader, buf []byte) (ftype byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3]))
+	if n < frameHeaderLen {
+		return 0, nil, fmt.Errorf("frame length %d shorter than header", n)
+	}
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("frame length %d exceeds limit %d", n, MaxFrameSize)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, nil, fmt.Errorf("truncated frame: %w", err)
+	}
+	if v := buf[0]; v != Version {
+		return 0, nil, fmt.Errorf("protocol version mismatch: peer speaks v%d, this binary v%d (mixed builds in one job?)", v, Version)
+	}
+	return buf[1], buf[frameHeaderLen:], nil
+}

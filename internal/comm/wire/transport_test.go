@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"temperedlb/internal/comm"
+)
+
+func testClusterEcho(t *testing.T, network string) {
+	registerTestPayloads()
+	const ranks, nodes = 6, 3
+	c, err := NewCluster(network, ranks, nodes, 0x77)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+
+	// Every rank sends one payload-bearing message to every other rank;
+	// every rank must receive ranks-1 messages, each intact.
+	for _, tr := range c.Transports {
+		lo, hi := tr.LocalRange()
+		for from := lo; from < hi; from++ {
+			for to := 0; to < ranks; to++ {
+				if to == from {
+					continue
+				}
+				tr.Send(comm.Message{From: from, To: to, Kind: 1, Handler: int32(from),
+					Data: testPayload{A: int64(from*100 + to), B: []float64{float64(to)}, Flag: true}})
+			}
+		}
+	}
+	for _, tr := range c.Transports {
+		lo, hi := tr.LocalRange()
+		for r := lo; r < hi; r++ {
+			seen := map[int]bool{}
+			for len(seen) < ranks-1 {
+				m, ok, timedOut := tr.RecvWaitTimeout(r, 5*time.Second)
+				if timedOut || !ok {
+					t.Fatalf("%s: rank %d: got %d/%d messages then timed out (err=%v)", network, r, len(seen), ranks-1, tr.Err())
+				}
+				if m.To != r {
+					t.Fatalf("rank %d received message for %d", r, m.To)
+				}
+				p, ok := m.Data.(testPayload)
+				if !ok || p.A != int64(m.From*100+r) || len(p.B) != 1 || p.B[0] != float64(r) || !p.Flag {
+					t.Fatalf("rank %d: corrupted payload from %d: %+v", r, m.From, m.Data)
+				}
+				if seen[m.From] {
+					t.Fatalf("rank %d: duplicate from %d", r, m.From)
+				}
+				seen[m.From] = true
+			}
+		}
+	}
+	for _, tr := range c.Transports {
+		st := tr.WireStats()
+		if st.Peers != nodes-1 {
+			t.Errorf("peers = %d, want %d", st.Peers, nodes-1)
+		}
+		if st.FramesOut == 0 || st.BytesOut == 0 || st.FramesIn == 0 || st.BytesIn == 0 {
+			t.Errorf("wire stats not counting: %+v", st)
+		}
+	}
+}
+
+func TestClusterEchoUnix(t *testing.T) { testClusterEcho(t, "unix") }
+func TestClusterEchoTCP(t *testing.T)  { testClusterEcho(t, "tcp") }
+
+// TestCloseDrain is the no-message-loss contract: everything accepted
+// by Send before Close — including fault-delayed deliveries — must
+// reach the remote inbox, because the closing side flushes its
+// outbound queues and delayed goroutines before its BYE, and the
+// receiving side keeps injecting until that BYE arrives.
+func TestCloseDrain(t *testing.T) {
+	const ranks, nodes, burst = 2, 2, 2000
+	c, err := NewCluster("unix", ranks, nodes, 0x88)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	sender, receiver := c.Transports[0], c.Transports[1]
+
+	// A fault plan that delays some traffic stresses the drain: Close
+	// must wait out the sleeping delivery goroutines too.
+	spec, err := comm.ParseFaultSpec("delay=2ms,delaymin=1ms,seed=9")
+	if err != nil {
+		t.Fatalf("fault spec: %v", err)
+	}
+	sender.SetFaultPlan(spec.Plan())
+
+	for i := 0; i < burst; i++ {
+		sender.Send(comm.Message{From: 0, To: 1, Kind: 1, Handler: int32(i)})
+	}
+	closed := make(chan struct{})
+	go func() { sender.Close(); close(closed) }()
+
+	got := make([]bool, burst)
+	count := 0
+	for count < burst {
+		m, ok, timedOut := receiver.RecvWaitTimeout(1, 10*time.Second)
+		if timedOut || !ok {
+			t.Fatalf("lost messages on close: got %d/%d (sender err=%v)", count, burst, sender.Err())
+		}
+		if got[m.Handler] {
+			t.Fatalf("duplicate message %d", m.Handler)
+		}
+		got[m.Handler] = true
+		count++
+	}
+	// Receiver's own Close sends its BYE, releasing the sender's drain.
+	receiver.Close()
+	select {
+	case <-closed:
+	case <-time.After(15 * time.Second):
+		t.Fatal("sender Close did not complete after receiver closed")
+	}
+	if err := sender.Err(); err != nil {
+		t.Fatalf("sender failed during drain: %v", err)
+	}
+}
+
+// TestVersionMismatch proves a peer speaking a different protocol
+// version is refused at the first frame with a diagnosable error.
+func TestVersionMismatch(t *testing.T) {
+	tr, err := New(Config{Network: "tcp", Ranks: 2, Nodes: 2, Self: 0})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer tr.Close()
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	hello := appendHello(nil, helloBody{Ranks: 2, Nodes: 2, Node: 1, Lo: 1, Hi: 2})
+	hello[4] = Version + 1 // corrupt the version byte
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	waitForErr(t, tr, "version mismatch")
+}
+
+// TestGeometryMismatch proves two jobs that disagree on -ranks/-nodes
+// cannot silently interconnect.
+func TestGeometryMismatch(t *testing.T) {
+	tr, err := New(Config{Network: "tcp", Ranks: 4, Nodes: 2, Self: 0})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer tr.Close()
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.Write(appendHello(nil, helloBody{Ranks: 8, Nodes: 2, Node: 1, Lo: 4, Hi: 8}))
+	waitForErr(t, tr, "geometry mismatch")
+}
+
+func waitForErr(t *testing.T, tr *Transport, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := tr.Err(); err != nil {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("transport failed with %v, want %q", err, want)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("transport never recorded the %q error", want)
+}
+
+// TestRendezvous runs the coordinator protocol end to end: N clients
+// check in concurrently (in arbitrary order, some before the
+// coordinator publishes) and all receive the identical sorted map.
+func TestRendezvous(t *testing.T) {
+	const nodes = 4
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := ServeRendezvous(ln, nodes, 10*time.Second)
+		serveDone <- err
+	}()
+
+	var wg sync.WaitGroup
+	maps := make([][]NodeSpec, nodes)
+	errs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			self := NodeSpec{Node: i, Lo: i * 2, Hi: i*2 + 2, Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+			maps[i], errs[i] = Rendezvous("tcp", addr, self, 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < nodes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if len(maps[i]) != nodes {
+			t.Fatalf("node %d got %d specs", i, len(maps[i]))
+		}
+		for j, s := range maps[i] {
+			if s.Node != j || s.Addr != fmt.Sprintf("127.0.0.1:%d", 9000+j) {
+				t.Fatalf("node %d spec %d: %+v", i, j, s)
+			}
+		}
+	}
+}
+
+// TestRendezvousRefusesBadNode checks the coordinator rejects an
+// out-of-range node id with an error the client surfaces, while the
+// job's real nodes still complete.
+func TestRendezvousRefusesBadNode(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	go ServeRendezvous(ln, 2, 10*time.Second)
+
+	if _, err := Rendezvous("tcp", addr, NodeSpec{Node: 7, Addr: "x"}, 5*time.Second); err == nil {
+		t.Fatal("out-of-range node id: want refusal")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := Rendezvous("tcp", addr, NodeSpec{Node: i, Addr: "x"}, 5*time.Second); err != nil {
+				t.Errorf("node %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

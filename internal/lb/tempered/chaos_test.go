@@ -75,14 +75,7 @@ func runChaosCase(t *testing.T, nRanks, hot, objsPerHot int, cfg core.Config, sp
 
 // stripTiming zeroes the wall-clock fields of a result so runs can be
 // compared for protocol-level equality.
-func stripTiming(r DistResult) DistResult {
-	r.ElapsedSeconds = 0
-	r.History = append([]core.IterationStats(nil), r.History...)
-	for i := range r.History {
-		r.History[i].ElapsedSeconds = 0
-	}
-	return r
-}
+func stripTiming(r DistResult) DistResult { return r.StripTiming() }
 
 // TestDistributedChaosLossy runs the full TemperedLB protocol over a
 // transport that drops, duplicates and delays the balancer's own

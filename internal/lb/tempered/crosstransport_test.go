@@ -1,0 +1,139 @@
+package tempered
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"temperedlb/internal/amt"
+	"temperedlb/internal/comm"
+	"temperedlb/internal/comm/wire"
+	"temperedlb/internal/core"
+)
+
+// registerColorState installs the wire codec for the test object state,
+// in the application id band, so migrations can cross process-style
+// transport boundaries. The Blob padding is never written by any test,
+// so only Load crosses the wire and the decoded state is equal.
+var registerColorState = sync.OnceFunc(func() {
+	wire.RegisterPayload(100,
+		func(e *wire.Encoder, s *colorState) { e.F64(s.Load) },
+		func(d *wire.Decoder) *colorState { return &colorState{Load: d.F64()} })
+})
+
+// crossTransportConfig pins Rounds to 1: single-round gossip knowledge
+// is a pure canonicalized merge, independent of arrival order, whereas
+// multi-round epidemic forwarding suppresses re-sends based on what
+// arrived first and so legitimately varies across transports. Every
+// other knob matches the chaos suite's distConfig.
+func crossTransportConfig() core.Config {
+	cfg := distConfig()
+	cfg.Rounds = 1
+	return cfg
+}
+
+// runOnTransport executes the standard chaos workload (hot ranks own
+// all objects, dyadic loads) on the named transport and returns the
+// per-rank results. For "unix" and "tcp" the job runs as a 3-node
+// cluster of partial networks joined by real sockets, one runtime per
+// node exactly as cmd/lbnode hosts one per process.
+func runOnTransport(t *testing.T, transport string, nRanks, hot, objsPerHot int, sp *comm.FaultSpec) []DistResult {
+	t.Helper()
+	registerColorState()
+	cfg := crossTransportConfig()
+
+	results := make([]DistResult, nRanks)
+	makeBody := func(h *Handlers) func(rc *amt.Context) {
+		return func(rc *amt.Context) {
+			loads := make(map[amt.ObjectID]float64)
+			if int(rc.Rank()) < hot {
+				for i := 0; i < objsPerHot; i++ {
+					l := dyadicLoad(int(rc.Rank()), i, objsPerHot)
+					id := rc.CreateObject(&colorState{Load: l})
+					loads[id] = l
+				}
+			}
+			rc.Barrier()
+			res, err := RunDistributed(rc, h, cfg, loads)
+			if err != nil {
+				t.Errorf("rank %d: %v", rc.Rank(), err)
+				return
+			}
+			results[rc.Rank()] = res
+		}
+	}
+
+	if transport == "memory" {
+		rt := amt.New(nRanks)
+		if sp != nil {
+			if err := rt.SetFaults(*sp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Run(makeBody(RegisterHandlers(rt, 100)))
+		return results
+	}
+
+	const nodes = 3
+	cluster, err := wire.NewCluster(transport, nRanks, nodes, 0xC0FFEE)
+	if err != nil {
+		t.Fatalf("%s cluster: %v", transport, err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	for _, tr := range cluster.Transports {
+		rt := amt.New(nRanks, amt.WithTransport(tr))
+		if sp != nil {
+			if err := rt.SetFaults(*sp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		body := makeBody(RegisterHandlers(rt, 100))
+		wg.Add(1)
+		go func(rt *amt.Runtime) {
+			defer wg.Done()
+			rt.Run(body)
+		}(rt)
+	}
+	wg.Wait()
+	for _, tr := range cluster.Transports {
+		if err := tr.Err(); err != nil {
+			t.Fatalf("%s transport failed: %v", transport, err)
+		}
+	}
+	return results
+}
+
+// TestCrossTransportIdentity is the tentpole acceptance test: the same
+// seed and configuration must produce a bit-identical DistResult on the
+// in-memory, Unix-socket and TCP transports — with and without a fault
+// plan — because the protocol stack cannot observe the substrate. Only
+// wall-clock fields may differ (StripTiming removes them).
+func TestCrossTransportIdentity(t *testing.T) {
+	const nRanks, hot, objsPerHot = 10, 2, 12
+	faults := &comm.FaultSpec{}
+	*faults, _ = comm.ParseFaultSpec("drop=0.05,dup=0.05,delay=500us,seed=42")
+
+	for _, tc := range []struct {
+		name string
+		sp   *comm.FaultSpec
+	}{
+		{"faultfree", nil},
+		{"faulted", faults},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := runOnTransport(t, "memory", nRanks, hot, objsPerHot, tc.sp)
+			for _, transport := range []string{"unix", "tcp"} {
+				got := runOnTransport(t, transport, nRanks, hot, objsPerHot, tc.sp)
+				for r := range baseline {
+					want, have := baseline[r].StripTiming(), got[r].StripTiming()
+					if !reflect.DeepEqual(want, have) {
+						t.Errorf("%s: rank %d diverges from memory transport:\nmemory: %+v\n%s: %+v",
+							transport, r, want, transport, have)
+					}
+				}
+			}
+		})
+	}
+}

@@ -147,6 +147,20 @@ type DistResult struct {
 	ElapsedSeconds float64
 }
 
+// StripTiming returns a copy of the result with every wall-clock field
+// zeroed, leaving only protocol-determined state. Two runs of the same
+// seed and configuration must compare reflect.DeepEqual after
+// StripTiming regardless of scheduling, fault plan, or transport — the
+// equality the chaos suite and `make wire-smoke` enforce.
+func (r DistResult) StripTiming() DistResult {
+	r.ElapsedSeconds = 0
+	r.History = append([]core.IterationStats(nil), r.History...)
+	for i := range r.History {
+		r.History[i].ElapsedSeconds = 0
+	}
+	return r
+}
+
 // RunDistributed executes the full TemperedLB protocol on the calling
 // rank: the statistics all-reduce, then Trials×Iterations of (gossip
 // epoch, transfer epoch, imbalance all-reduce) over a virtual working
@@ -179,13 +193,27 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	}
 	// Streaming publishes one frame per protocol step from rank 0. The
 	// load vectors ride an extra AllGather per frame; the stream is a
-	// runtime-wide attachment, so every rank takes these collectives (or
-	// none does) and the collective-order contract holds.
+	// runtime-wide attachment, so within one process every rank takes
+	// these collectives (or none does) and the collective-order contract
+	// holds. In a multi-process job "runtime-wide" is only node-wide —
+	// whether another node attached a stream is not a local fact — so
+	// the nodes agree with one scalar reduce and stream-less ranks take
+	// the AllGathers without publishing. Single-process runs skip the
+	// agreement, keeping their collective sequence (and the obs-smoke
+	// golden) exactly as before.
 	stream := rc.Stream()
+	streaming := stream != nil
+	if _, wired := rc.WireTotals(); wired {
+		var on float64
+		if streaming {
+			on = 1
+		}
+		streaming = rc.AllReduce(on, amt.ReduceMax) > 0
+	}
 	entriesTotal := 0
-	if stream != nil {
+	if streaming {
 		loadsVec := rc.AllGather(ownLoad)
-		if self == 0 {
+		if self == 0 && stream != nil {
 			publishFrame(rc, stream, &res, entriesTotal,
 				obs.Snapshot{Phase: "init", Loads: loadsVec})
 		}
@@ -323,9 +351,9 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 				best = copyInto(best, st.virtual)
 			}
 			entriesTotal += iterStat.GossipEntries
-			if stream != nil {
+			if streaming {
 				loadsVec := rc.AllGather(curLoad)
-				if self == 0 {
+				if self == 0 && stream != nil {
 					publishFrame(rc, stream, &res, entriesTotal, obs.Snapshot{
 						Phase: "iter", Trial: trial, Iteration: iter,
 						Loads: loadsVec, IterMs: maxes[2] * 1e3,
@@ -356,10 +384,10 @@ func RunDistributed(rc *amt.Context, h *Handlers, cfg core.Config, loads map[amt
 	})
 	res.Migrations = rc.Stats.Migrations - migBefore
 	res.MigrationBytes = rc.Stats.MigrationBytes - bytesBefore
-	if stream != nil {
+	if streaming {
 		loadsVec := rc.AllGather(st.sumLoad(best))
 		migs := rc.AllReduce(float64(res.Migrations), amt.ReduceSum)
-		if self == 0 {
+		if self == 0 && stream != nil {
 			publishFrame(rc, stream, &res, entriesTotal, obs.Snapshot{
 				Phase: "commit", Trial: res.BestTrial, Iteration: res.BestIteration,
 				Loads: loadsVec, Migrations: int64(migs),
@@ -391,6 +419,9 @@ func publishFrame(rc *amt.Context, stream *obs.Stream, res *DistResult, entries 
 	f.Retries, f.DupDrops = fs.Retries, fs.DupDrops
 	f.Collectives = int64(rc.Stats.Collectives)
 	f.Epochs = int64(rc.Stats.EpochsRun)
+	if ws, ok := rc.WireTotals(); ok {
+		f.WireBytesOut, f.WireBytesIn, f.WirePeers = ws.BytesOut, ws.BytesIn, ws.Peers
+	}
 	stream.Publish(f)
 }
 

@@ -62,6 +62,7 @@ func stripVolatileFrame(f obs.Snapshot) obs.Snapshot {
 	f.IterMs = 0
 	f.Msgs, f.Bytes = 0, 0
 	f.Dropped, f.Duplicated, f.Retries, f.DupDrops = 0, 0, 0, 0
+	f.WireBytesOut, f.WireBytesIn, f.WirePeers = 0, 0, 0
 	return f
 }
 

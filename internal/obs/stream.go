@@ -71,6 +71,12 @@ type Snapshot struct {
 	Collectives int64 `json:"collectives,omitempty"`
 	Epochs      int64 `json:"epochs,omitempty"`
 
+	// Socket-transport totals, cumulative; zero on the in-memory
+	// transport (a single-process run moves no wire bytes).
+	WireBytesOut int64 `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64 `json:"wire_bytes_in,omitempty"`
+	WirePeers    int64 `json:"wire_peers,omitempty"`
+
 	// IterMs is the duration of the step this frame closes (slowest rank
 	// for distributed frames), in milliseconds.
 	IterMs float64 `json:"iter_ms,omitempty"`

@@ -42,6 +42,13 @@ type (
 	// FaultStats reports a fault plan's injections and the runtime's
 	// recovery work; read with Runtime.FaultStats.
 	FaultStats = amt.FaultStats
+	// Transport is the pluggable message substrate underneath the
+	// runtime: the in-memory network by default, or a socket transport
+	// from internal/comm/wire hosting one slice of a multi-process job.
+	Transport = comm.Transport
+	// WireStats are a socket transport's cumulative frame, byte and
+	// connection counters (zero-valued on the in-memory transport).
+	WireStats = comm.WireStats
 )
 
 // Reduction operators.
@@ -63,6 +70,13 @@ func NewRuntime(n int, opts ...RuntimeOption) *Runtime { return amt.New(n, opts.
 // 2k+2 messages regardless of the rank count, with combine order fixed
 // by the topology so floating-point reductions are bit-deterministic.
 func WithFanout(k int) RuntimeOption { return amt.WithFanout(k) }
+
+// WithTransport substitutes the runtime's message transport, e.g. a
+// TCP or Unix-socket transport hosting this process's rank range of a
+// multi-process job (see cmd/lbnode). The default is the in-memory
+// network spanning every rank. The transport's total rank count must
+// match the runtime's.
+func WithTransport(t Transport) RuntimeOption { return amt.WithTransport(t) }
 
 // ParseFaultSpec parses a comma-separated fault directive such as
 // "seed=7,drop=0.01,dup=0.01,delay=5ms,slow=3:2ms" into a FaultSpec.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos storm obs-smoke wire-smoke check bench bench-json bench-compare
+.PHONY: build test vet lint race chaos storm obs-smoke wire-smoke serve-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -65,11 +65,31 @@ wire-smoke:
 	@rm -rf .wire-smoke
 	@echo "wire-smoke: 2-process unix-socket DistResult identical to in-memory"
 
+# Serve smoke: a short deterministic run of the online balancer
+# service must reproduce the committed trigger-decision log byte for
+# byte (cmd/lbserve/testdata/serve_smoke.golden), and the same run over
+# Unix- and TCP-socket clusters must match the in-memory log exactly —
+# the rank-identical trigger claim of DESIGN.md §11, checked with the
+# shipped binary. Regenerate the golden with lbserve after intentional
+# format or scenario changes.
+SERVE_SMOKE_ARGS = -scenario burst -ranks 8 -phases 24 -items 48 -seed 7 -trigger forecast
+serve-smoke:
+	@rm -rf .serve-smoke && mkdir .serve-smoke
+	$(GO) build -o .serve-smoke/ ./cmd/lbserve
+	./.serve-smoke/lbserve $(SERVE_SMOKE_ARGS) > .serve-smoke/memory.log
+	diff cmd/lbserve/testdata/serve_smoke.golden .serve-smoke/memory.log
+	./.serve-smoke/lbserve $(SERVE_SMOKE_ARGS) -transport unix -nodes 3 > .serve-smoke/unix.log
+	diff .serve-smoke/memory.log .serve-smoke/unix.log
+	./.serve-smoke/lbserve $(SERVE_SMOKE_ARGS) -transport tcp -nodes 2 > .serve-smoke/tcp.log
+	diff .serve-smoke/memory.log .serve-smoke/tcp.log
+	@rm -rf .serve-smoke
+	@echo "serve-smoke: trigger log matches golden and is identical on memory/unix/tcp"
+
 # The CI gate: static analysis (go vet and the project's lbvet
 # analyzers), the race-enabled suite, the chaos suite (which includes
-# the storm), the observability and wire smokes, and the benchmark
-# regression diff against the committed trajectory.
-check: vet lint race chaos obs-smoke wire-smoke bench-compare
+# the storm), the observability, wire and serve smokes, and the
+# benchmark regression diff against the committed trajectory.
+check: vet lint race chaos obs-smoke wire-smoke serve-smoke bench-compare
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -13,9 +13,11 @@ import (
 	"testing"
 
 	"temperedlb"
+	"temperedlb/internal/amt"
 	"temperedlb/internal/core"
 	"temperedlb/internal/lbaf"
 	"temperedlb/internal/obs"
+	"temperedlb/internal/serve"
 	"temperedlb/internal/workload"
 )
 
@@ -162,6 +164,41 @@ func benchJSONSuite() []struct {
 					if _, err := temperedlb.RunDistributedLB(rc, h, cfg, loads); err != nil {
 						b.Error(err)
 					}
+				})
+			}
+		}},
+		{"serve_trigger_eval_256obj", func(b *testing.B) {
+			// One op = the per-phase service overhead a rank pays between
+			// running tasks and (maybe) invoking the balancer: fold a
+			// 256-object phase observation into the Holt level+trend
+			// model, sum next-phase predictions in sorted-id order (the
+			// rank's collective contribution), and evaluate the forecast
+			// trigger. The collectives themselves are covered by the
+			// distributed_lb rows; this row is the serve-layer cost only.
+			model := amt.NewLoadModel(0.5)
+			model.SetTrend(0.3)
+			ids := make([]amt.ObjectID, 256)
+			for j := range ids {
+				ids[j] = amt.MakeObjectID(core.Rank(j%16), int64(j+1))
+			}
+			stats := amt.PhaseStats{Loads: make(map[amt.ObjectID]float64, len(ids))}
+			trig := &serve.Forecast{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats.Total = 0
+				for j, id := range ids {
+					l := 1 + float64((j+i)%7)
+					stats.Loads[id] = l
+					stats.Total += l
+				}
+				model.Observe(stats)
+				pred := 0.0
+				for _, id := range model.IDs() {
+					pred += model.Predict(id)
+				}
+				trig.Decide(serve.Summary{
+					Phase: i, Max: stats.Total * 1.2, Avg: stats.Total,
+					PredMax: pred * 1.2, PredAvg: pred, LBCost: 1e12,
 				})
 			}
 		}},

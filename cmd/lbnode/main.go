@@ -57,11 +57,8 @@ func main() {
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("lbnode %d: ", *node))
 
-	if *node < 0 || *node >= *nodes {
-		log.Fatalf("-node %d outside [0,%d); every process needs a distinct index", *node, *nodes)
-	}
-	if (*peersFile == "") == (*coordAddr == "") {
-		log.Fatal("exactly one of -peers or -coord must be given")
+	if err := validateGeometry(*ranks, *nodes, *node, *transport, *listen, *peersFile, *coordAddr); err != nil {
+		log.Fatal(err)
 	}
 
 	spec := temperedlb.WorkloadSpec{
@@ -221,6 +218,42 @@ func main() {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 	}
+}
+
+// validateGeometry rejects inconsistent job geometry and rendezvous
+// flags up front, with errors that name the fix — every one of these
+// used to surface as a late failure mid-rendezvous (a panic in
+// SplitRanks, a listen error, or a silent hang waiting for a peer set
+// that can never agree).
+func validateGeometry(ranks, nodes, node int, transport, listen, peersFile, coordAddr string) error {
+	if ranks < 1 {
+		return fmt.Errorf("-ranks %d: a job needs at least one rank", ranks)
+	}
+	if nodes < 1 {
+		return fmt.Errorf("-nodes %d: a job needs at least one process", nodes)
+	}
+	if ranks < nodes {
+		return fmt.Errorf("-ranks %d < -nodes %d: every node hosts at least one rank, so ranks must be >= nodes", ranks, nodes)
+	}
+	if node < 0 || node >= nodes {
+		return fmt.Errorf("-node %d outside [0,%d); every process needs a distinct index", node, nodes)
+	}
+	switch transport {
+	case "tcp":
+	case "unix":
+		if listen == "" {
+			return fmt.Errorf("-transport unix needs an explicit -listen socket path")
+		}
+	default:
+		return fmt.Errorf("-transport %q: want tcp or unix", transport)
+	}
+	if peersFile != "" && coordAddr != "" {
+		return fmt.Errorf("-peers and -coord are both set; they are competing rendezvous mechanisms, pick one")
+	}
+	if peersFile == "" && coordAddr == "" {
+		return fmt.Errorf("no rendezvous configured: give either -peers <file> (static) or -coord <host:port> (lbcoord)")
+	}
+	return nil
 }
 
 // writeExport creates path and streams one exporter into it.

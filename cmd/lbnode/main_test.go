@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateGeometry(t *testing.T) {
+	type args struct {
+		ranks, nodes, node                  int
+		transport, listen, peers, coordAddr string
+	}
+	ok := args{ranks: 12, nodes: 2, node: 0, transport: "tcp", peers: "peers.txt"}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string // substring; empty means valid
+	}{
+		{"valid static tcp", func(a *args) {}, ""},
+		{"valid coord unix", func(a *args) {
+			a.transport, a.listen = "unix", "/tmp/lb.sock"
+			a.peers, a.coordAddr = "", "127.0.0.1:9999"
+		}, ""},
+		{"single node job", func(a *args) { a.nodes, a.node = 1, 0 }, ""},
+		{"zero ranks", func(a *args) { a.ranks = 0 }, "-ranks 0"},
+		{"negative ranks", func(a *args) { a.ranks = -3 }, "-ranks -3"},
+		{"zero nodes", func(a *args) { a.nodes = 0 }, "-nodes 0"},
+		{"ranks below nodes", func(a *args) { a.ranks, a.nodes = 2, 5 }, "ranks must be >= nodes"},
+		{"node unset", func(a *args) { a.node = -1 }, "outside [0,2)"},
+		{"node too high", func(a *args) { a.node = 2 }, "outside [0,2)"},
+		{"unknown transport", func(a *args) { a.transport = "quic" }, `-transport "quic"`},
+		{"unix without listen", func(a *args) { a.transport = "unix" }, "-listen socket path"},
+		{"both rendezvous", func(a *args) { a.coordAddr = "127.0.0.1:9999" }, "pick one"},
+		{"no rendezvous", func(a *args) { a.peers = "" }, "no rendezvous configured"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := ok
+			tc.mutate(&a)
+			err := validateGeometry(a.ranks, a.nodes, a.node, a.transport, a.listen, a.peers, a.coordAddr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid geometry rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted; want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -39,8 +39,24 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve live observability HTTP on this address (NDJSON /stream, /metrics, /debug/pprof/) and keep serving after the run until interrupted (-distributed only)")
 		framesOut  = flag.String("frames", "", "write the run's frame ring as NDJSON to this file for lbtop -replay (-distributed only)")
 		resultOut  = flag.String("result", "", "write rank 0's protocol-determined DistResult as JSON to this file (timing stripped; diffable across transports and processes)")
+
+		service  = flag.Bool("service", false, "run the online balancer service instead of a one-shot rebalance (see cmd/lbserve for the full tool)")
+		scenario = flag.String("scenario", "burst", "service workload stream: ramp | diurnal | burst | churn (-service only)")
+		phases   = flag.Int("phases", 40, "service phases (-service only)")
+		trigger  = flag.String("trigger", "forecast", "service LB trigger: always | every:K | threshold:H | forecast[:headroom=X] (-service only)")
+		lbCost   = flag.Float64("lbcost", 20, "cost of one balancer invocation, in load units (-service only)")
 	)
 	flag.Parse()
+
+	if *service {
+		runService(serviceOptions{
+			scenario: *scenario, ranks: *ranks, phases: *phases, items: *tasks, seed: *seed,
+			trigger: *trigger, lbCost: *lbCost,
+			transport: *transport, nodes: *nodes, fanout: *fanout,
+			metricsPath: *metricsOut, framesPath: *framesOut, serveAddr: *serveAddr,
+		})
+		return
+	}
 
 	spec := temperedlb.WorkloadSpec{
 		NumRanks:      *ranks,
@@ -380,6 +396,140 @@ func runDistributed(o distOptions) {
 	}
 	if o.serveAddr != "" {
 		log.Print("run finished; still serving (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+}
+
+type serviceOptions struct {
+	scenario    string
+	ranks       int
+	phases      int
+	items       int
+	seed        int64
+	trigger     string
+	lbCost      float64
+	transport   string
+	nodes       int
+	fanout      int
+	metricsPath string
+	framesPath  string
+	serveAddr   string
+}
+
+// runService hosts the online balancer service (internal/serve) on the
+// chosen transport: scenario phases stream in, the load model forecasts
+// the next one, and the trigger decides when the distributed protocol
+// is worth invoking. The trigger log printed to stdout is
+// rank-identical and byte-stable across transports; cmd/lbserve is the
+// dedicated tool with record and tune modes on top of the same engine.
+func runService(o serviceOptions) {
+	kind, err := temperedlb.ParseScenarioKind(o.scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := temperedlb.ParseTrigger(o.trigger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := temperedlb.ServiceConfig{
+		Scenario: temperedlb.ScenarioSpec{
+			Kind: kind, Ranks: o.ranks, Phases: o.phases, Items: o.items, Seed: o.seed,
+		},
+		Trigger: ts,
+		LBCost:  o.lbCost,
+	}
+
+	var obsOpts []temperedlb.RuntimeOption
+	if o.metricsPath != "" || o.serveAddr != "" {
+		obsOpts = append(obsOpts, temperedlb.WithMetrics())
+	}
+	var stream *temperedlb.Stream
+	if o.serveAddr != "" || o.framesPath != "" {
+		stream = temperedlb.NewStream(0)
+		obsOpts = append(obsOpts, temperedlb.WithStream(stream))
+	}
+
+	var runtimes []*temperedlb.Runtime
+	switch o.transport {
+	case "memory":
+		runtimes = []*temperedlb.Runtime{temperedlb.NewRuntime(o.ranks,
+			append([]temperedlb.RuntimeOption{temperedlb.WithFanout(o.fanout)}, obsOpts...)...)}
+	case "unix", "tcp":
+		if o.nodes < 1 || o.nodes > o.ranks {
+			log.Fatalf("-nodes %d: need 1 <= nodes <= ranks (%d)", o.nodes, o.ranks)
+		}
+		cluster, err := wire.NewCluster(o.transport, o.ranks, o.nodes, uint64(o.seed)+0x5e12e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		for i, tr := range cluster.Transports {
+			nodeOpts := []temperedlb.RuntimeOption{temperedlb.WithFanout(o.fanout), temperedlb.WithTransport(tr)}
+			if i == 0 {
+				nodeOpts = append(nodeOpts, obsOpts...)
+			}
+			runtimes = append(runtimes, temperedlb.NewRuntime(o.ranks, nodeOpts...))
+		}
+		log.Printf("socket cluster: %d nodes over %s, %d ranks", o.nodes, o.transport, o.ranks)
+	default:
+		log.Fatalf("unknown transport %q (want memory, unix or tcp)", o.transport)
+	}
+	rt0 := runtimes[0]
+
+	if o.serveAddr != "" {
+		srv, bound, err := temperedlb.ServeObservability(o.serveAddr, stream, rt0.Metrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving observability on http://%s (attach with: lbtop -url http://%s)", bound, bound)
+	}
+
+	results := make([]temperedlb.ServiceResult, o.ranks)
+	done := make(chan struct{}, len(runtimes))
+	for _, rt := range runtimes {
+		h := temperedlb.RegisterLBHandlers(rt, 1)
+		go func(rt *temperedlb.Runtime, h *temperedlb.LBHandlers) {
+			defer func() { done <- struct{}{} }()
+			rt.Run(func(rc *temperedlb.RankContext) {
+				res, err := temperedlb.RunService(rc, h, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				results[rc.Rank()] = res
+			})
+		}(rt, h)
+	}
+	for range runtimes {
+		<-done
+	}
+
+	res := results[0]
+	res.LocalMigrations = 0
+	for _, r := range results {
+		res.LocalMigrations += r.LocalMigrations
+	}
+	if err := temperedlb.WriteServiceLog(os.Stdout, cfg, res); err != nil {
+		log.Fatal(err)
+	}
+	if o.metricsPath != "" {
+		writeExport(o.metricsPath, func(w io.Writer) error {
+			return temperedlb.WritePrometheus(w, rt0.Metrics())
+		})
+		log.Printf("wrote metrics to %s", o.metricsPath)
+	}
+	if o.framesPath != "" {
+		frames := stream.Frames()
+		writeExport(o.framesPath, func(w io.Writer) error {
+			return temperedlb.WriteSnapshots(w, frames)
+		})
+		log.Printf("wrote %d frames to %s (replay with: lbtop -replay %s)",
+			len(frames), o.framesPath, o.framesPath)
+	}
+	if o.serveAddr != "" {
+		log.Print("service finished; still serving (Ctrl-C to exit)")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig

@@ -109,3 +109,210 @@ func TestLoadModelBadAlphaPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestLoadModelBadTrendAndAgePanic(t *testing.T) {
+	for _, b := range []float64{-0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("beta %g accepted", b)
+				}
+			}()
+			NewLoadModel(0.5).SetTrend(b)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative max age accepted")
+			}
+		}()
+		NewLoadModel(0.5).SetMaxAge(-1)
+	}()
+}
+
+// TestLoadModelStalePredictionsSwept is the regression test for the
+// phantom-load bug: objects absent from every later phase (completed or
+// migrated away without a Forget) must decay and then vanish from
+// Predictions, instead of feeding their last observation to the
+// balancer forever.
+func TestLoadModelStalePredictionsSwept(t *testing.T) {
+	m := NewLoadModel(0.5)
+	alive := MakeObjectID(0, 1)
+	stale := MakeObjectID(0, 2)
+	m.Observe(PhaseStats{Loads: map[ObjectID]float64{alive: 4, stale: 8}})
+	if m.Predict(stale) != 8 {
+		t.Fatalf("setup: stale object predicts %g, want 8", m.Predict(stale))
+	}
+	// The stale object never works again; the alive one keeps going.
+	prev := m.Predict(stale)
+	for i := 0; i < DefaultMaxAge; i++ {
+		m.Observe(obsOf(alive, 4))
+		cur := m.Predict(stale)
+		if cur > prev {
+			t.Errorf("absent phase %d: stale prediction grew %g -> %g", i+1, prev, cur)
+		}
+		prev = cur
+	}
+	if m.Predict(stale) != 0 || m.Len() != 1 {
+		t.Errorf("stale object survived %d absent phases: predict %g, len %d",
+			DefaultMaxAge, m.Predict(stale), m.Len())
+	}
+	if _, ok := m.Predictions()[stale]; ok {
+		t.Error("Predictions still carries the stale object")
+	}
+	if m.Predict(alive) == 0 {
+		t.Error("sweep dropped a live object")
+	}
+}
+
+// TestLoadModelLegacyNoSweep documents the pre-fix behaviour, kept
+// reachable via SetMaxAge(0): absent objects persist forever.
+func TestLoadModelLegacyNoSweep(t *testing.T) {
+	m := NewLoadModel(0.5)
+	m.SetMaxAge(0)
+	alive, stale := MakeObjectID(0, 1), MakeObjectID(0, 2)
+	m.Observe(PhaseStats{Loads: map[ObjectID]float64{alive: 4, stale: 8}})
+	for i := 0; i < 3*DefaultMaxAge; i++ {
+		m.Observe(obsOf(alive, 4))
+	}
+	if m.Predict(stale) != 8 {
+		t.Errorf("legacy mode decayed the absent object to %g", m.Predict(stale))
+	}
+}
+
+func TestLoadModelAbsenceCounterResets(t *testing.T) {
+	m := NewLoadModel(1)
+	alive, blinker := MakeObjectID(0, 1), MakeObjectID(0, 2)
+	for cycle := 0; cycle < 4; cycle++ {
+		m.Observe(PhaseStats{Loads: map[ObjectID]float64{alive: 1, blinker: 2}})
+		for i := 0; i < DefaultMaxAge-1; i++ { // absent, but never long enough
+			m.Observe(obsOf(alive, 1))
+		}
+		if m.Len() != 2 {
+			t.Fatalf("cycle %d: blinker swept after only %d absent phases", cycle, DefaultMaxAge-1)
+		}
+	}
+}
+
+func TestLoadModelImmediateDrop(t *testing.T) {
+	m := NewLoadModel(0.5)
+	m.SetMaxAge(1)
+	alive, once := MakeObjectID(0, 1), MakeObjectID(0, 2)
+	m.Observe(PhaseStats{Loads: map[ObjectID]float64{alive: 4, once: 8}})
+	m.Observe(obsOf(alive, 4))
+	if m.Len() != 1 || m.Predict(once) != 0 {
+		t.Errorf("MaxAge 1 kept the absent object: len %d, predict %g", m.Len(), m.Predict(once))
+	}
+}
+
+// TestLoadModelTrend checks Holt's linear trend against hand-computed
+// values: with alpha = beta = 1 the trend is exactly the last delta and
+// the k-step forecast extrapolates it linearly.
+func TestLoadModelTrend(t *testing.T) {
+	m := NewLoadModel(1)
+	m.SetTrend(1)
+	id := MakeObjectID(0, 1)
+	for _, load := range []float64{1, 2, 3} {
+		m.Observe(obsOf(id, load))
+	}
+	if got := m.Trend(id); got != 1 {
+		t.Errorf("trend = %g, want 1", got)
+	}
+	if got := m.Predict(id); got != 4 {
+		t.Errorf("one-step forecast = %g, want 4", got)
+	}
+	if got := m.PredictAhead(id, 3); got != 6 {
+		t.Errorf("three-step forecast = %g, want 6", got)
+	}
+	if got := m.PredictAhead(id, 0); got != 3 {
+		t.Errorf("zero-step forecast = %g, want the level 3", got)
+	}
+}
+
+func TestLoadModelTrendForecastClampsAtZero(t *testing.T) {
+	m := NewLoadModel(1)
+	m.SetTrend(1)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 4))
+	m.Observe(obsOf(id, 1)) // level 1, trend -3
+	if got := m.Predict(id); got != 0 {
+		t.Errorf("negative forecast not clamped: %g", got)
+	}
+	if got := m.Predictions()[id]; got != 0 {
+		t.Errorf("Predictions not clamped: %g", got)
+	}
+}
+
+func TestLoadModelTrendDampedBySmoothing(t *testing.T) {
+	// With beta < 1 the trend lags a sudden slope change instead of
+	// jumping to it.
+	m := NewLoadModel(1)
+	m.SetTrend(0.5)
+	id := MakeObjectID(0, 1)
+	m.Observe(obsOf(id, 1))
+	m.Observe(obsOf(id, 2)) // delta 1, trend 0.5
+	if got := m.Trend(id); got != 0.5 {
+		t.Errorf("damped trend = %g, want 0.5", got)
+	}
+}
+
+// TestLoadModelForgetAfterMigrate models the ownership handoff: the
+// sender forgets a migrated object, and the receiver's model starts
+// fresh from its own observations with no inherited trend.
+func TestLoadModelForgetAfterMigrate(t *testing.T) {
+	sender, receiver := NewLoadModel(0.5), NewLoadModel(0.5)
+	sender.SetTrend(0.5)
+	receiver.SetTrend(0.5)
+	id := MakeObjectID(0, 1)
+	for _, load := range []float64{2, 4, 6} {
+		sender.Observe(obsOf(id, load))
+	}
+	sender.Forget(id)
+	if sender.Len() != 0 {
+		t.Fatal("Forget left the object tracked")
+	}
+	receiver.Observe(obsOf(id, 6))
+	if got := receiver.Predict(id); got != 6 {
+		t.Errorf("receiver's fresh prediction = %g, want the observation 6", got)
+	}
+	if got := receiver.Trend(id); got != 0 {
+		t.Errorf("receiver inherited a trend: %g", got)
+	}
+}
+
+// TestLoadModelDeterministicConsumption: the model's outputs must not
+// depend on map insertion or iteration order — IDs is sorted, and two
+// models fed the same observations through differently-ordered maps
+// agree exactly.
+func TestLoadModelDeterministicConsumption(t *testing.T) {
+	build := func(order []int64) *LoadModel {
+		m := NewLoadModel(0.3)
+		m.SetTrend(0.2)
+		for phase := 0; phase < 5; phase++ {
+			loads := make(map[ObjectID]float64)
+			for _, seq := range order {
+				loads[MakeObjectID(0, seq)] = float64(seq) + float64(phase)/3
+			}
+			m.Observe(PhaseStats{Loads: loads})
+		}
+		return m
+	}
+	a := build([]int64{1, 2, 3, 4, 5})
+	b := build([]int64{5, 3, 1, 4, 2})
+	ids := a.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not ascending: %v", ids)
+		}
+	}
+	pa, pb := a.Predictions(), b.Predictions()
+	if len(pa) != len(pb) {
+		t.Fatalf("prediction sets differ: %d vs %d", len(pa), len(pb))
+	}
+	for id, v := range pa {
+		if pb[id] != v {
+			t.Errorf("object %v: %g vs %g", id, v, pb[id])
+		}
+	}
+}

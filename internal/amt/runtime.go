@@ -212,6 +212,7 @@ func (rt *Runtime) EnableMetrics() *obs.Metrics {
 		"wire_bytes_in_total":            "Frame bytes read from peer processes.",
 		"wire_peers":                     "Connected peer processes.",
 		"wire_redials_total":             "Connection attempts beyond the first, per peer.",
+		"wire_queue_highwater":           "Deepest per-peer writer queue seen, in messages.",
 	} {
 		m.SetHelp(fam, help)
 	}
@@ -263,6 +264,7 @@ func (rt *Runtime) Metrics() *obs.Metrics {
 		rt.metrics.Counter("wire_bytes_in_total").Store(st.BytesIn)
 		rt.metrics.Counter("wire_peers").Store(st.Peers)
 		rt.metrics.Counter("wire_redials_total").Store(st.Redials)
+		rt.metrics.Counter("wire_queue_highwater").Store(st.QueueHighWater)
 	}
 	return rt.metrics
 }

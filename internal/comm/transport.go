@@ -67,6 +67,10 @@ type WireStats struct {
 	FramesIn, BytesIn   int64
 	Peers               int64
 	Redials             int64
+	// QueueHighWater is the deepest per-peer writer queue observed (in
+	// messages, across all peers) — the early-warning gauge for a peer
+	// that has stopped draining.
+	QueueHighWater int64
 }
 
 // WireStater is implemented by transports that move bytes between

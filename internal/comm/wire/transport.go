@@ -71,6 +71,14 @@ type Config struct {
 	// waits for outbound queues to flush and for every peer's BYE
 	// before force-closing connections (default 10s).
 	DrainTimeout time.Duration
+	// MaxQueue is the soft cap on any one peer's writer queue, in
+	// messages. A peer that stops draining (stalled process, dead TCP
+	// window) would otherwise grow its queue without bound until this
+	// process OOMs; crossing the cap instead fails the transport loudly
+	// with a queue-overflow error. 0 uses DefaultMaxQueue; negative
+	// disables the cap (the pre-cap behaviour, kept for tooling that
+	// prefers to watch the high-water stat itself).
+	MaxQueue int
 	// Logf receives connection-lifecycle and failure lines; nil is
 	// silent.
 	Logf func(format string, args ...any)
@@ -103,6 +111,9 @@ func (cfg *Config) setDefaults() error {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -149,7 +160,15 @@ type Transport struct {
 	redials             atomic.Int64
 	connectedPeers      atomic.Int64
 	rttMax              atomic.Int64 // nanoseconds, max peer dial round trip
+	queueHighWater      atomic.Int64 // deepest writer queue seen, any peer
 }
+
+// DefaultMaxQueue is the writer-queue soft cap when Config.MaxQueue is
+// zero: deep enough that a healthy peer is never tripped by a send
+// burst (the protocol's per-epoch traffic is orders of magnitude
+// smaller), shallow enough to fail long before queued messages threaten
+// process memory.
+const DefaultMaxQueue = 1 << 17
 
 // peer owns the outbound connection to one remote node: an unbounded
 // queue drained by a writer goroutine, so Send never blocks on the
@@ -490,8 +509,18 @@ func (t *Transport) forwardRemote(m comm.Message) {
 func (p *peer) enqueue(m comm.Message) {
 	p.mu.Lock()
 	p.queue = append(p.queue, m)
+	depth := int64(len(p.queue))
 	p.mu.Unlock()
 	p.cond.Signal()
+	for {
+		hw := p.t.queueHighWater.Load()
+		if depth <= hw || p.t.queueHighWater.CompareAndSwap(hw, depth) {
+			break
+		}
+	}
+	if cap := p.t.cfg.MaxQueue; cap > 0 && depth > int64(cap) {
+		p.t.fail(fmt.Errorf("wire: writer queue to node %d overflowed the soft cap (%d queued > MaxQueue %d): peer is not draining", p.node, depth, cap))
+	}
 }
 
 // beginBye asks the writer to flush everything queued and end the
@@ -646,12 +675,13 @@ func (t *Transport) Close() {
 // WireStats implements comm.WireStater.
 func (t *Transport) WireStats() comm.WireStats {
 	return comm.WireStats{
-		FramesOut: t.framesOut.Load(),
-		BytesOut:  t.bytesOut.Load(),
-		FramesIn:  t.framesIn.Load(),
-		BytesIn:   t.bytesIn.Load(),
-		Peers:     t.connectedPeers.Load(),
-		Redials:   t.redials.Load(),
+		FramesOut:      t.framesOut.Load(),
+		BytesOut:       t.bytesOut.Load(),
+		FramesIn:       t.framesIn.Load(),
+		BytesIn:        t.bytesIn.Load(),
+		Peers:          t.connectedPeers.Load(),
+		Redials:        t.redials.Load(),
+		QueueHighWater: t.queueHighWater.Load(),
 	}
 }
 

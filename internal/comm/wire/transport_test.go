@@ -252,3 +252,73 @@ func TestRendezvousRefusesBadNode(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestWriterQueueSoftCapFailsLoud is the regression test for the
+// unbounded-writer-queue bug: a peer whose writer never drains (stalled
+// process, dead TCP window) used to grow its queue silently until this
+// process OOMed. Now crossing Config.MaxQueue records a fatal transport
+// error, and the deepest queue observed is exported via
+// WireStats.QueueHighWater. The peer is hand-built with no writeLoop —
+// the deterministic stand-in for a fully stalled writer — so the test
+// needs no timing assumptions.
+func TestWriterQueueSoftCapFailsLoud(t *testing.T) {
+	tr, err := New(Config{Network: "tcp", Ranks: 2, Nodes: 2, Self: 0, MaxQueue: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tr.Close()
+
+	ours, theirs := net.Pipe()
+	defer ours.Close()
+	defer theirs.Close()
+	p := &peer{t: tr, node: 1, conn: ours, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	close(p.done) // no writeLoop: Close must not wait for one
+
+	for i := 0; i < 8; i++ {
+		p.enqueue(comm.Message{From: 0, To: 1})
+		if err := tr.Err(); err != nil {
+			t.Fatalf("enqueue %d within the cap failed the transport: %v", i+1, err)
+		}
+	}
+	p.enqueue(comm.Message{From: 0, To: 1}) // 9th message crosses MaxQueue 8
+
+	err = tr.Err()
+	if err == nil {
+		t.Fatal("queue overflow did not fail the transport")
+	}
+	if !strings.Contains(err.Error(), "MaxQueue") || !strings.Contains(err.Error(), "node 1") {
+		t.Errorf("overflow error does not name the cap and peer: %v", err)
+	}
+	if hw := tr.WireStats().QueueHighWater; hw != 9 {
+		t.Errorf("QueueHighWater = %d, want 9", hw)
+	}
+}
+
+// TestWriterQueueCapDisabled: a negative MaxQueue restores the pre-cap
+// behaviour (grow without failing) while still tracking the high-water
+// stat for operators who prefer to watch it themselves.
+func TestWriterQueueCapDisabled(t *testing.T) {
+	tr, err := New(Config{Network: "tcp", Ranks: 2, Nodes: 2, Self: 0, MaxQueue: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tr.Close()
+
+	ours, theirs := net.Pipe()
+	defer ours.Close()
+	defer theirs.Close()
+	p := &peer{t: tr, node: 1, conn: ours, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	close(p.done)
+
+	for i := 0; i < 100; i++ {
+		p.enqueue(comm.Message{From: 0, To: 1})
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("disabled cap still failed the transport: %v", err)
+	}
+	if hw := tr.WireStats().QueueHighWater; hw != 100 {
+		t.Errorf("QueueHighWater = %d, want 100", hw)
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSpec(kind Kind) Spec {
+	return Spec{Kind: kind, Ranks: 6, Phases: 24, Items: 40, Seed: 7}
+}
+
+func TestScenarioDeterministicConstruction(t *testing.T) {
+	for _, kind := range []Kind{KindRamp, KindDiurnal, KindBurst, KindChurn} {
+		a, err := NewScenario(testSpec(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, _ := NewScenario(testSpec(kind))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two constructions differ", kind)
+		}
+		for i := 0; i < a.NumItems(); i++ {
+			for p := 0; p < a.Spec.Phases; p++ {
+				if a.Load(i, p) != b.Load(i, p) {
+					t.Fatalf("%s: item %d phase %d load differs", kind, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioInvariants(t *testing.T) {
+	for _, kind := range []Kind{KindRamp, KindDiurnal, KindBurst, KindChurn} {
+		sc, err := NewScenario(testSpec(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		covered := 0
+		for r := 0; r < sc.Spec.Ranks; r++ {
+			prevStart, prevIdx := -1, -1
+			for _, i := range sc.Arrivals(r) {
+				it := sc.Item(i)
+				if it.Home != r {
+					t.Fatalf("%s: item %d in rank %d's arrivals but homed on %d", kind, i, r, it.Home)
+				}
+				if it.Start < prevStart || (it.Start == prevStart && i <= prevIdx) {
+					t.Fatalf("%s: rank %d arrivals out of creation order", kind, r)
+				}
+				prevStart, prevIdx = it.Start, i
+				covered++
+			}
+		}
+		if covered != sc.NumItems() {
+			t.Errorf("%s: arrivals cover %d of %d items", kind, covered, sc.NumItems())
+		}
+		for i := 0; i < sc.NumItems(); i++ {
+			it := sc.Item(i)
+			if it.Start < 0 || it.End > sc.Spec.Phases || it.Start >= it.End {
+				t.Fatalf("%s: item %d has lifetime [%d,%d) outside [0,%d)", kind, i, it.Start, it.End, sc.Spec.Phases)
+			}
+			for p := 0; p < sc.Spec.Phases; p++ {
+				l := sc.Load(i, p)
+				if sc.Alive(i, p) && l <= 0 {
+					t.Fatalf("%s: item %d alive at %d with load %g", kind, i, p, l)
+				}
+				if !sc.Alive(i, p) && l != 0 {
+					t.Fatalf("%s: item %d dead at %d with load %g", kind, i, p, l)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioKindsShapeLoad(t *testing.T) {
+	// Each generator must actually produce its advertised time shape.
+	ramp, _ := NewScenario(testSpec(KindRamp))
+	hotEarly, hotLate := rankLoad(ramp, 0, 0), rankLoad(ramp, 0, ramp.Spec.Phases-1)
+	if hotLate <= hotEarly {
+		t.Errorf("ramp: hot rank load did not grow: %g -> %g", hotEarly, hotLate)
+	}
+
+	burst, _ := NewScenario(testSpec(KindBurst))
+	if len(burst.bursts) == 0 {
+		t.Fatal("burst: no burst windows")
+	}
+	w := burst.bursts[0]
+	quiet := rankLoad(burst, w.Victim, 0)
+	spiked := rankLoad(burst, w.Victim, w.Start)
+	if spiked < 2*quiet {
+		t.Errorf("burst: victim %d load %g at spike vs %g quiet", w.Victim, spiked, quiet)
+	}
+
+	churn, _ := NewScenario(testSpec(KindChurn))
+	varies := false
+	prev := aliveCount(churn, 0)
+	for p := 1; p < churn.Spec.Phases; p++ {
+		if c := aliveCount(churn, p); c != prev {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("churn: alive item count constant over the whole run")
+	}
+
+	diurnal, _ := NewScenario(testSpec(KindDiurnal))
+	lo, hi := rankLoad(diurnal, 0, 0), rankLoad(diurnal, 0, diurnal.period/2)
+	if hi <= lo {
+		t.Errorf("diurnal: no wave on the hot rank: %g at trough, %g at peak", lo, hi)
+	}
+}
+
+func TestScenarioRejectsBadSpec(t *testing.T) {
+	bad := []Spec{
+		{Kind: KindRamp, Ranks: 0, Phases: 10, Items: 10},
+		{Kind: KindRamp, Ranks: 4, Phases: 0, Items: 10},
+		{Kind: KindRamp, Ranks: 4, Phases: 10, Items: 0},
+		{Kind: KindRamp, Ranks: 4, Phases: 10, Items: 10, Hot: 9},
+	}
+	for i, s := range bad {
+		if _, err := NewScenario(s); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// rankLoad sums a rank's home items' loads at one phase.
+func rankLoad(sc *Scenario, rank, phase int) float64 {
+	s := 0.0
+	for i := 0; i < sc.NumItems(); i++ {
+		if sc.Item(i).Home == rank {
+			s += sc.Load(i, phase)
+		}
+	}
+	return s
+}
+
+func aliveCount(sc *Scenario, phase int) int {
+	n := 0
+	for i := 0; i < sc.NumItems(); i++ {
+		if sc.Alive(i, phase) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"temperedlb/internal/amt"
+	"temperedlb/internal/comm/wire"
+	"temperedlb/internal/lb/tempered"
+)
+
+func serveConfig(kind Kind) Config {
+	return Config{
+		Scenario: Spec{Kind: kind, Ranks: 6, Phases: 18, Items: 36, Seed: 11},
+		Trigger:  TriggerSpec{Family: "forecast", Headroom: 1},
+	}
+}
+
+// runService executes one service run on the named transport and
+// returns every rank's Result. For "unix" and "tcp" the job is an
+// in-process cluster of `nodes` partial networks joined by real
+// sockets, one runtime per node — exactly how cmd/lbserve hosts them.
+func runService(t *testing.T, transport string, nodes int, cfg Config) []Result {
+	t.Helper()
+	n := cfg.Scenario.Ranks
+	results := make([]Result, n)
+	body := func(h *tempered.Handlers) func(rc *amt.Context) {
+		return func(rc *amt.Context) {
+			res, err := Run(rc, h, cfg)
+			if err != nil {
+				t.Errorf("rank %d: %v", rc.Rank(), err)
+				return
+			}
+			results[rc.Rank()] = res
+		}
+	}
+	if transport == "memory" {
+		rt := amt.New(n)
+		rt.Run(body(tempered.RegisterHandlers(rt, 100)))
+		return results
+	}
+	cluster, err := wire.NewCluster(transport, n, nodes, 0x5e12e)
+	if err != nil {
+		t.Fatalf("%s cluster: %v", transport, err)
+	}
+	defer cluster.Close()
+	var wg sync.WaitGroup
+	for _, tr := range cluster.Transports {
+		rt := amt.New(n, amt.WithTransport(tr))
+		b := body(tempered.RegisterHandlers(rt, 100))
+		wg.Add(1)
+		go func(rt *amt.Runtime) {
+			defer wg.Done()
+			rt.Run(b)
+		}(rt)
+	}
+	wg.Wait()
+	for _, tr := range cluster.Transports {
+		if err := tr.Err(); err != nil {
+			t.Fatalf("%s transport failed: %v", transport, err)
+		}
+	}
+	return results
+}
+
+// stripLocal zeroes the one legitimately rank-local field so results
+// can be compared across ranks.
+func stripLocal(r Result) Result {
+	r.LocalMigrations = 0
+	return r
+}
+
+// TestServiceRankAgreement: every rank of one run must produce the
+// same trigger-decision log and cost accounting — the collective
+// agreement the whole design rests on.
+func TestServiceRankAgreement(t *testing.T) {
+	for _, kind := range []Kind{KindBurst, KindChurn} {
+		results := runService(t, "memory", 1, serveConfig(kind))
+		want := stripLocal(results[0])
+		if want.Fires == 0 {
+			t.Errorf("%s: trigger never fired; scenario too tame to test agreement", kind)
+		}
+		if want.AssignFP == 0 {
+			t.Errorf("%s: zero assignment fingerprint", kind)
+		}
+		for r := 1; r < len(results); r++ {
+			if !reflect.DeepEqual(stripLocal(results[r]), want) {
+				t.Errorf("%s: rank %d disagrees with rank 0", kind, r)
+			}
+		}
+	}
+}
+
+// TestServiceCrossTransportIdentity is the tentpole acceptance test:
+// the same spec and seed must produce a bit-identical trigger log and
+// result on the in-memory transport and on Unix/TCP socket clusters at
+// two different node counts.
+func TestServiceCrossTransportIdentity(t *testing.T) {
+	cfg := serveConfig(KindBurst)
+	want := stripLocal(runService(t, "memory", 1, cfg)[0])
+
+	for _, tc := range []struct {
+		transport string
+		nodes     int
+	}{
+		{"unix", 2}, {"unix", 3}, {"tcp", 2},
+	} {
+		results := runService(t, tc.transport, tc.nodes, cfg)
+		for r := range results {
+			if got := stripLocal(results[r]); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%d nodes: rank %d result differs from memory run", tc.transport, tc.nodes, r)
+				break
+			}
+		}
+	}
+}
+
+// TestServiceLogDeterministic: WriteLog output is byte-identical across
+// two independent runs (the serve-smoke contract, in-process).
+func TestServiceLogDeterministic(t *testing.T) {
+	cfg := serveConfig(KindBurst)
+	var a, b bytes.Buffer
+	if err := WriteLog(&a, cfg, runService(t, "memory", 1, cfg)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLog(&b, cfg, runService(t, "memory", 1, cfg)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical runs rendered different logs")
+	}
+	if a.Len() == 0 {
+		t.Error("empty log")
+	}
+}
+
+// TestServiceMigratedWorkFollowsObject: after invocations move objects
+// off their homes, total observed work per phase must still equal the
+// scenario's alive-item load sum — work follows the object, wherever
+// it lives.
+func TestServiceMigratedWorkFollowsObject(t *testing.T) {
+	cfg := serveConfig(KindBurst)
+	cfg.Trigger = TriggerSpec{Family: "every", K: 2}
+	results := runService(t, "memory", 1, cfg)
+	if sumMigrations(results) == 0 {
+		t.Fatal("no migrations at all; test exercises nothing")
+	}
+	sc, _ := NewScenario(cfg.Scenario.withDefaults())
+	for p, row := range results[0].Rows {
+		want := 0.0
+		for i := 0; i < sc.NumItems(); i++ {
+			want += sc.Load(i, p)
+		}
+		got := row.Avg * float64(cfg.Scenario.Ranks)
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("phase %d: observed total %g, scenario total %g", p, got, want)
+		}
+	}
+}
+
+// TestForecastBeatsAlwaysOnBurst: on a bursty workload the forecast
+// criterion must undercut always-LB on total cost (waste + LB paid) —
+// the acceptance claim the EXPERIMENTS entry documents.
+func TestForecastBeatsAlwaysOnBurst(t *testing.T) {
+	cfg := serveConfig(KindBurst)
+	cfg.Scenario.Phases = 30
+
+	always := cfg
+	always.Trigger = TriggerSpec{Family: "every", K: 1}
+	alwaysRes := runService(t, "memory", 1, always)[0]
+
+	forecast := cfg
+	forecast.Trigger = TriggerSpec{Family: "forecast", Headroom: 1}
+	forecastRes := runService(t, "memory", 1, forecast)[0]
+
+	if forecastRes.Fires >= alwaysRes.Fires {
+		t.Errorf("forecast fired %d times, always %d — no invocation savings", forecastRes.Fires, alwaysRes.Fires)
+	}
+	if forecastRes.TotalCost >= alwaysRes.TotalCost {
+		t.Errorf("forecast total cost %.2f not below always-LB %.2f (waste %.2f vs %.2f, paid %.2f vs %.2f)",
+			forecastRes.TotalCost, alwaysRes.TotalCost,
+			forecastRes.TotalWaste, alwaysRes.TotalWaste,
+			forecastRes.LBPaid, alwaysRes.LBPaid)
+	}
+}
+
+// TestServiceRejectsBadConfig covers the early-error paths.
+func TestServiceRejectsBadConfig(t *testing.T) {
+	rt := amt.New(4)
+	h := tempered.RegisterHandlers(rt, 100)
+	rt.Run(func(rc *amt.Context) {
+		cfg := serveConfig(KindBurst) // scenario says 6 ranks, runtime has 4
+		if _, err := Run(rc, h, cfg); err == nil {
+			t.Error("rank mismatch accepted")
+		}
+		cfg = serveConfig(KindBurst)
+		cfg.Scenario.Ranks = 4
+		cfg.Trigger = TriggerSpec{Family: "nope"}
+		if _, err := Run(rc, h, cfg); err == nil {
+			t.Error("unknown trigger accepted")
+		}
+	})
+}
+
+func sumMigrations(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.LocalMigrations
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func testTrace(t *testing.T, kind Kind) Trace {
+	t.Helper()
+	sc, err := NewScenario(testSpec(kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RecordTrace(sc)
+}
+
+func TestTraceRoundTripsThroughJSON(t *testing.T) {
+	tr := testTrace(t, KindBurst)
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Error("trace changed through JSON")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	tr := testTrace(t, KindChurn)
+	ts := TriggerSpec{Family: "forecast", Headroom: 1}
+	a, err := Simulate(tr, ts, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(tr, ts, SimConfig{})
+	if a != b {
+		t.Errorf("two replays differ: %+v vs %+v", a, b)
+	}
+	if a.Fires+a.Skips != len(tr.Phases) {
+		t.Errorf("fires %d + skips %d != %d phases", a.Fires, a.Skips, len(tr.Phases))
+	}
+}
+
+func TestSimulateRebalanceReducesWaste(t *testing.T) {
+	// Rebalancing every phase must not cost more waste than never
+	// rebalancing on a clustered burst trace.
+	tr := testTrace(t, KindBurst)
+	never, err := Simulate(tr, TriggerSpec{Family: "threshold", Threshold: 1e12}, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := Simulate(tr, TriggerSpec{Family: "every", K: 1}, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.Fires != 0 {
+		t.Fatalf("never-trigger fired %d times", never.Fires)
+	}
+	if always.TotalWaste >= never.TotalWaste {
+		t.Errorf("always-rebalance waste %.2f not below never-rebalance %.2f", always.TotalWaste, never.TotalWaste)
+	}
+}
+
+func TestTunePicksCheapestAndIsDeterministic(t *testing.T) {
+	tr := testTrace(t, KindBurst)
+	best, all, err := Tune(tr, nil, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("empty grid")
+	}
+	for _, c := range all {
+		if c.Result.TotalCost < best.Result.TotalCost {
+			t.Errorf("candidate %s cost %.2f beats reported best %s %.2f",
+				c.Spec, c.Result.TotalCost, best.Spec, best.Result.TotalCost)
+		}
+	}
+	best2, all2, _ := Tune(tr, nil, SimConfig{})
+	if !reflect.DeepEqual(best, best2) || !reflect.DeepEqual(all, all2) {
+		t.Error("two tuning sweeps differ")
+	}
+	if _, _, err := Tune(tr, []string{"nope"}, SimConfig{}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestTuneFamilySubset(t *testing.T) {
+	tr := testTrace(t, KindDiurnal)
+	best, all, err := Tune(tr, []string{"forecast"}, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range all {
+		if c.Spec.Family != "forecast" {
+			t.Fatalf("family subset leaked %s", c.Spec)
+		}
+	}
+	if best.Spec.Family != "forecast" {
+		t.Errorf("best %s outside requested family", best.Spec)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos storm obs-smoke wire-smoke serve-smoke check bench bench-json bench-compare
+.PHONY: build test vet lint lint-fix race chaos storm obs-smoke wire-smoke serve-smoke check bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ lint:
 	$(GO) run ./cmd/lbvet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+
+# Apply every machine-applicable suggested fix (clock-funnel rewrites,
+# stale-directive deletions), then report whatever remains. Idempotent:
+# a second run applies nothing (enforced by TestFixIdempotent).
+lint-fix:
+	$(GO) run ./cmd/lbvet -fix ./...
 
 # Full race-detector pass; includes the obs-instrumented chaos tests,
 # which is how we prove the tracer and metrics add no data races.

@@ -14,6 +14,7 @@ import (
 
 	"temperedlb"
 	"temperedlb/internal/amt"
+	"temperedlb/internal/analysis"
 	"temperedlb/internal/core"
 	"temperedlb/internal/lbaf"
 	"temperedlb/internal/obs"
@@ -200,6 +201,27 @@ func benchJSONSuite() []struct {
 					Phase: i, Max: stats.Total * 1.2, Avg: stats.Total,
 					PredMax: pred * 1.2, PredAvg: pred, LBCost: 1e12,
 				})
+			}
+		}},
+		{"lbvet_full_module", func(b *testing.B) {
+			// One op = the full static-analysis gate `make lint` pays on
+			// every CI run: parse and typecheck the whole module (stdlib
+			// via the source importer included) and run all nine
+			// analyzers. A fresh loader per op keeps the summary and
+			// package caches cold, like a real invocation.
+			for i := 0; i < b.N; i++ {
+				ld, err := analysis.NewLoader(".")
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkgs, err := ld.LoadAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner := &analysis.Runner{Analyzers: analysis.Analyzers()}
+				if diags := runner.Run(pkgs); len(diags) != 0 {
+					b.Fatalf("lint findings: %v", diags)
+				}
 			}
 		}},
 		{"orderings_fewest_migrations_10k", func(b *testing.B) {

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	lbvet [-only=analyzer,...] [-json] [-list] [patterns...]
+//	lbvet [-only=analyzer,...] [-json] [-list] [-fix] [patterns...]
 //
 // Patterns are ./...-style directory patterns relative to the module
 // root (default ./...). Findings print as `file:line: message
-// [analyzer]`; with -json they print as a JSON array. The exit status
-// is 1 when findings exist, 2 on usage or load errors.
+// [analyzer]`; with -json they print as a JSON array (each entry noting
+// whether a suggested fix exists). The exit status is 1 when findings
+// exist, 2 on usage or load errors.
+//
+// -fix applies every machine-applicable suggested fix in place (stale
+// directive deletion, time.Now -> clock.Now where internal/clock is
+// already imported), then reports only the findings that remain
+// unfixed; the exit status reflects those. Applying fixes is
+// idempotent: a second -fix run changes nothing.
 //
 // Suppress a finding with a directive on the offending line or the line
 // above it:
@@ -38,6 +45,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,6 +86,25 @@ func run(args []string, stdout, stderr *os.File) int {
 	runner := &analysis.Runner{Analyzers: selected}
 	diags := runner.Run(pkgs)
 
+	if *fix {
+		applied, files, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "lbvet:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(stderr, "lbvet: applied %d fixes to %d files\n", applied, len(files))
+		}
+		// Only findings without a fix remain outstanding.
+		remaining := diags[:0]
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
 	// Report positions relative to the working directory for readable,
 	// clickable output.
 	wd, _ := os.Getwd()
@@ -97,12 +124,13 @@ func run(args []string, stdout, stderr *os.File) int {
 			Column   int    `json:"column"`
 			Analyzer string `json:"analyzer"`
 			Message  string `json:"message"`
+			Fixable  bool   `json:"fixable,omitempty"`
 		}
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, finding{
 				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
+				Analyzer: d.Analyzer, Message: d.Message, Fixable: len(d.Fixes) > 0,
 			})
 		}
 		enc := json.NewEncoder(stdout)

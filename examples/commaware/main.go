@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,9 +37,11 @@ func buildWorkload(seed int64) (*temperedlb.Assignment, *temperedlb.CommGraph) {
 }
 
 func main() {
+	seed := flag.Int64("seed", 17, "workload seed")
+	flag.Parse()
 	fmt.Printf("%-10s %10s %14s %16s\n", "bias", "final I", "remote volume", "volume fraction")
 	for _, bias := range []float64{0, 0.3, 0.6, 0.9} {
-		a, g := buildWorkload(17)
+		a, g := buildWorkload(*seed)
 		cfg := temperedlb.Tempered()
 		cfg.Trials, cfg.Iterations = 4, 6
 		cfg.CommBias = bias

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,8 +36,8 @@ func (roundRobin) Rebalance(a *temperedlb.Assignment) (*temperedlb.Plan, error) 
 	return plan, nil
 }
 
-func buildWorkload() *temperedlb.Assignment {
-	rng := rand.New(rand.NewSource(3))
+func buildWorkload(seed int64) *temperedlb.Assignment {
+	rng := rand.New(rand.NewSource(seed))
 	a := temperedlb.NewAssignment(32)
 	for i := 0; i < 500; i++ {
 		// Pareto-ish loads: a few elephants, many mice.
@@ -47,6 +48,8 @@ func buildWorkload() *temperedlb.Assignment {
 }
 
 func main() {
+	seed := flag.Int64("seed", 3, "workload seed")
+	flag.Parse()
 	strategies := []temperedlb.Strategy{
 		roundRobin{},
 		temperedlb.NewGreedyLB(),
@@ -57,7 +60,7 @@ func main() {
 	}
 	fmt.Printf("%-14s %10s %10s %12s %14s\n", "strategy", "I before", "I after", "migrations", "moved load")
 	for _, s := range strategies {
-		a := buildWorkload()
+		a := buildWorkload(*seed)
 		plan, err := s.Rebalance(a)
 		if err != nil {
 			log.Fatal(err)

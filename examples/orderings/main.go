@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,6 +29,8 @@ func buildWorkload(seed int64) *temperedlb.Assignment {
 }
 
 func main() {
+	seed := flag.Int64("seed", 11, "workload seed")
+	flag.Parse()
 	orderings := []temperedlb.Ordering{
 		temperedlb.OrderArbitrary,
 		temperedlb.OrderLoadIntensive,
@@ -36,7 +39,7 @@ func main() {
 	}
 	fmt.Printf("%-20s %12s %12s %14s\n", "ordering", "final I", "migrations", "moved load")
 	for _, ord := range orderings {
-		a := buildWorkload(11)
+		a := buildWorkload(*seed)
 		cfg := temperedlb.Tempered()
 		cfg.Order = ord
 		cfg.Trials, cfg.Iterations = 4, 6

@@ -62,6 +62,37 @@ type color struct {
 
 type particle struct{ X, Y, VX, VY float64 }
 
+// Wire codec for the particle exchange payload, in the application band
+// (≥64), so the example runs unchanged on a socket transport. Field
+// order is the wire format.
+func init() {
+	temperedlb.RegisterWirePayload(64,
+		func(e *temperedlb.WireEncoder, v []particle) {
+			e.U32(uint32(len(v)))
+			for _, p := range v {
+				e.F64(p.X)
+				e.F64(p.Y)
+				e.F64(p.VX)
+				e.F64(p.VY)
+			}
+		},
+		func(d *temperedlb.WireDecoder) []particle {
+			n := int(d.U32())
+			if n*32 > d.Remaining() {
+				d.Failf("particle batch claims %d particles with %d bytes left", n, d.Remaining())
+				return nil
+			}
+			out := make([]particle, n)
+			for i := range out {
+				out[i].X = d.F64()
+				out[i].Y = d.F64()
+				out[i].VX = d.F64()
+				out[i].VY = d.F64()
+			}
+			return out
+		})
+}
+
 const (
 	hExchange temperedlb.HandlerID = iota // particles entering a color
 	lbBase                                // +1, +2 claimed by the balancer
@@ -70,6 +101,7 @@ const (
 func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write runtime metrics in Prometheus text format")
+	seedFlag := flag.Int64("seed", 99, "base seed for the per-rank particle streams")
 	flag.Parse()
 
 	var opts []temperedlb.RuntimeOption
@@ -94,7 +126,7 @@ func main() {
 	lbRuns := 0
 
 	rt.Run(func(rc *temperedlb.RankContext) {
-		rng := rand.New(rand.NewSource(int64(rc.Rank()) + 99))
+		rng := rand.New(rand.NewSource(*seedFlag + int64(rc.Rank())))
 		// The collection gives every rank the same index→object mapping
 		// with no communication.
 		colors := rc.CreateCollection(colorCollection, colorsX*colorsY,

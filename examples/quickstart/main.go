@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,10 +14,13 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
 	// 1000 tasks with random loads, all crammed onto 4 of 64 ranks —
 	// the kind of distribution a freshly partitioned simulation with a
 	// localized hot spot produces.
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(*seed))
 	a := temperedlb.NewAssignment(64)
 	for i := 0; i < 1000; i++ {
 		a.Add(0.2+rng.Float64(), temperedlb.Rank(rng.Intn(4)))

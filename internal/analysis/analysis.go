@@ -22,15 +22,18 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
 )
 
-// Diagnostic is one finding, resolved to a file position.
+// Diagnostic is one finding, resolved to a file position. Fixes, when
+// non-empty, are machine-applicable repairs applied by `lbvet -fix`.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 // String renders the finding in the canonical `file:line: message
@@ -65,6 +68,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportWithFix records a finding at pos carrying a machine-applicable
+// suggested fix.
+func (p *Pass) ReportWithFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
 	})
 }
 
@@ -128,7 +142,11 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		})
 	}
 
-	malformed := r.applyIgnores(pkgs, &diags)
+	directives, malformed := r.collectDirectives(pkgs)
+	r.filterSuppressed(&diags, directives)
+	if r.selectedByName(unusedSuppressionName) != nil {
+		diags = append(diags, r.unusedDirectiveDiags(directives)...)
+	}
 	diags = append(diags, malformed...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -154,19 +172,29 @@ func typeErrorDiagnostic(pkg *Package, err error) Diagnostic {
 	return d
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment, with enough
+// position detail to judge whether it suppressed anything and to delete
+// it mechanically when it did not.
 type ignoreDirective struct {
 	analyzer string
-	line     int
 	file     string
+	line     int
+	pos      token.Position // of the comment's start
+	end      token.Position // of the comment's end
+	// used is set when the directive suppressed at least one diagnostic
+	// of this run.
+	used bool
+	// broken marks directives in packages with type errors: no analyzer
+	// ran there, so unusedness cannot be judged.
+	broken bool
 }
 
-// applyIgnores drops diagnostics covered by a `//lint:ignore analyzer
-// reason` directive on the same line or the line directly above, and
-// returns extra diagnostics for malformed directives. It mutates diags
-// in place.
-func (r *Runner) applyIgnores(pkgs []*Package, diags *[]Diagnostic) []Diagnostic {
-	directives := make(map[string]map[int]map[string]bool) // file -> line -> analyzer
+// collectDirectives parses every //lint:ignore comment of pkgs,
+// returning the directives plus diagnostics for malformed ones (a
+// directive without both analyzer and reason suppresses nothing and is
+// itself a finding).
+func (r *Runner) collectDirectives(pkgs []*Package) ([]*ignoreDirective, []Diagnostic) {
+	var directives []*ignoreDirective
 	var malformed []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -186,29 +214,124 @@ func (r *Runner) applyIgnores(pkgs []*Package, diags *[]Diagnostic) []Diagnostic
 						})
 						continue
 					}
-					byLine := directives[pos.Filename]
-					if byLine == nil {
-						byLine = make(map[int]map[string]bool)
-						directives[pos.Filename] = byLine
-					}
-					if byLine[pos.Line] == nil {
-						byLine[pos.Line] = make(map[string]bool)
-					}
-					byLine[pos.Line][fields[0]] = true
+					directives = append(directives, &ignoreDirective{
+						analyzer: fields[0],
+						file:     pos.Filename,
+						line:     pos.Line,
+						pos:      pos,
+						end:      pkg.Fset.Position(c.End()),
+						broken:   len(pkg.TypeErrors) > 0,
+					})
 				}
 			}
 		}
 	}
+	return directives, malformed
+}
+
+// filterSuppressed drops diagnostics covered by a directive on the same
+// line or the line directly above, marking the covering directives
+// used. It mutates diags in place.
+func (r *Runner) filterSuppressed(diags *[]Diagnostic, directives []*ignoreDirective) {
+	byLine := make(map[string]map[int][]*ignoreDirective)
+	for _, d := range directives {
+		if byLine[d.file] == nil {
+			byLine[d.file] = make(map[int][]*ignoreDirective)
+		}
+		byLine[d.file][d.line] = append(byLine[d.file][d.line], d)
+	}
+	covering := func(d Diagnostic) *ignoreDirective {
+		lines := byLine[d.Pos.Filename]
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range lines[line] {
+				if dir.analyzer == d.Analyzer {
+					return dir
+				}
+			}
+		}
+		return nil
+	}
 	kept := (*diags)[:0]
 	for _, d := range *diags {
-		byLine := directives[d.Pos.Filename]
-		if byLine != nil && (byLine[d.Pos.Line][d.Analyzer] || byLine[d.Pos.Line-1][d.Analyzer]) {
+		if dir := covering(d); dir != nil {
+			dir.used = true
 			continue
 		}
 		kept = append(kept, d)
 	}
 	*diags = kept
-	return malformed
+}
+
+// selectedByName returns the analyzer with the given name from this
+// run's selection, or nil.
+func (r *Runner) selectedByName(name string) *Analyzer {
+	for _, a := range r.Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// unusedDirectiveDiags reports, under the unusedsuppression analyzer,
+// every directive that suppressed nothing in this run. Only directives
+// naming an analyzer in the current selection are judged (a `-only`
+// run cannot know what the others would have found), and directives in
+// packages with type errors are exempt. Each finding carries a
+// suggested fix deleting the directive — the whole line when the
+// comment stands alone, just the comment when it trails code. The
+// unused findings are themselves suppressible by a directive naming
+// unusedsuppression; such a meta-directive counts as used when it
+// covers one.
+func (r *Runner) unusedDirectiveDiags(directives []*ignoreDirective) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range directives {
+		if dir.used || dir.broken || dir.analyzer == unusedSuppressionName {
+			continue
+		}
+		if r.selectedByName(dir.analyzer) == nil {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: unusedSuppressionName,
+			Message: fmt.Sprintf(
+				"lint:ignore %s directive suppresses no finding: delete it (the allowlist only shrinks)", dir.analyzer),
+			Fixes: []SuggestedFix{deleteDirectiveFix(dir)},
+		})
+	}
+	// Meta-suppression pass: a //lint:ignore unusedsuppression <reason>
+	// covering an unused finding keeps it out of the report.
+	r.filterSuppressed(&out, directives)
+	return out
+}
+
+// deleteDirectiveFix builds the edit removing dir from its file: the
+// entire line when the comment is alone on it (including the trailing
+// newline), otherwise the comment and the whitespace run before it.
+func deleteDirectiveFix(dir *ignoreDirective) SuggestedFix {
+	start, end := dir.pos.Offset, dir.end.Offset
+	if src, err := os.ReadFile(dir.file); err == nil && end <= len(src) {
+		lineStart := start
+		for lineStart > 0 && src[lineStart-1] != '\n' {
+			lineStart--
+		}
+		alone := strings.TrimSpace(string(src[lineStart:start])) == ""
+		if alone {
+			start = lineStart
+			if end < len(src) && src[end] == '\n' {
+				end++
+			}
+		} else {
+			for start > lineStart && (src[start-1] == ' ' || src[start-1] == '\t') {
+				start--
+			}
+		}
+	}
+	return SuggestedFix{
+		Message: "delete the unused directive",
+		Edits:   []TextEdit{{Filename: dir.file, Start: start, End: end}},
+	}
 }
 
 // Select resolves a comma-separated -only list against the given

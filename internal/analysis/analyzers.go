@@ -10,5 +10,9 @@ func Analyzers() []*Analyzer {
 		newLockdiscipline(),
 		newAtomicfields(),
 		newScratchescape(),
+		newCollectivesym(),
+		newPayloadcodec(),
+		newSeedflow(),
+		newUnusedsuppression(),
 	}
 }

@@ -32,6 +32,9 @@ var atomicFuncNames = map[string]bool{
 // transport counters started from. Aggregation is module-wide: the
 // atomic access may live in one package and the plain access in
 // another, so findings are reported from the Finish hook.
+//
+// Scope: the whole module with no carve-outs — a racy mixed access in
+// an example is as wrong as one in the runtime.
 func newAtomicfields() *Analyzer {
 	a := &Analyzer{
 		Name: "atomicfields",

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in a source file. Start and
+// End are byte offsets into the file; New replaces the range [Start,
+// End). A deletion has empty New; an insertion has Start == End.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// SuggestedFix is a machine-applicable repair attached to a
+// Diagnostic. Fixes must be safe to apply blindly: `lbvet -fix` applies
+// every suggested fix without asking, and the driver test requires the
+// result to be clean on the second run (idempotence). Analyzers
+// therefore only attach fixes whose correctness is locally decidable —
+// deleting a dead directive, swapping a call for its sanctioned
+// equivalent when the replacement package is already imported.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes applies every suggested fix of diags to the files on disk,
+// returning the number of fixes applied and the set of files rewritten.
+// Edits are applied per file in descending offset order so earlier
+// edits do not shift later ones; overlapping edits within one file are
+// an error (no partial writes happen for that file).
+func ApplyFixes(diags []Diagnostic) (applied int, files []string, err error) {
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+			applied++
+		}
+	}
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := byFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		// Identical edits (two diagnostics fixing the same spot) collapse;
+		// genuinely overlapping distinct edits are refused.
+		dedup := edits[:0]
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				applied--
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		edits = dedup
+		for i := 1; i < len(edits); i++ {
+			if edits[i].End > edits[i-1].Start {
+				return 0, nil, fmt.Errorf("overlapping fixes in %s at offsets %d and %d", name, edits[i].Start, edits[i-1].Start)
+			}
+		}
+		src, rerr := os.ReadFile(name)
+		if rerr != nil {
+			return 0, nil, rerr
+		}
+		out := src
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return 0, nil, fmt.Errorf("fix range [%d,%d) out of bounds for %s (%d bytes)", e.Start, e.End, name, len(src))
+			}
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+		}
+		info, serr := os.Stat(name)
+		mode := os.FileMode(0o644)
+		if serr == nil {
+			mode = info.Mode()
+		}
+		if werr := os.WriteFile(name, out, mode); werr != nil {
+			return 0, nil, werr
+		}
+		files = append(files, name)
+	}
+	return applied, files, nil
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixIdempotent copies the fixable fixture aside, runs the full
+// analyzer set, applies every suggested fix, and requires the second
+// run over the fixed sources to be completely clean — applying fixes
+// twice must be a no-op. The fixture covers both fix producers: the
+// nodeterminism time.Now -> clock.Now rewrite and the
+// unusedsuppression directive deletions (standalone and trailing).
+func TestFixIdempotent(t *testing.T) {
+	tmp := t.TempDir()
+	entries, err := os.ReadDir(filepath.Join("testdata", "fixable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "fixable", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Each pass needs a fresh loader: file contents change on disk and
+	// the loader caches parsed packages.
+	run := func() []Diagnostic {
+		ld, err := NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := ld.LoadDir(tmp, "td/internal/core/fixable")
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("fixture does not typecheck: %v", pkg.TypeErrors)
+		}
+		runner := &Runner{Analyzers: Analyzers()}
+		return runner.Run([]*Package{pkg})
+	}
+
+	diags := run()
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3 (time.Now + two stale directives): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Errorf("finding carries no fix: %s", d)
+		}
+	}
+	applied, files, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 || len(files) != 1 {
+		t.Errorf("applied %d fixes to %d files, want 3 to 1", applied, len(files))
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(tmp, "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "//lint:ignore") {
+		t.Errorf("stale directives survived -fix:\n%s", fixed)
+	}
+	if !strings.Contains(string(fixed), "clock.Now().After(epoch)") {
+		t.Errorf("time.Now call not rewritten to the clock funnel:\n%s", fixed)
+	}
+
+	second := run()
+	if len(second) != 0 {
+		t.Errorf("second run over fixed sources is not clean: %v", second)
+	}
+	applied, _, err = ApplyFixes(second)
+	if err != nil || applied != 0 {
+		t.Errorf("second apply did something: applied %d, err %v", applied, err)
+	}
+}

@@ -86,14 +86,23 @@ func wantsOf(t *testing.T, dir string) map[int]string {
 // TestGolden runs each analyzer over its positive and negative testdata
 // packages: every `// want` expectation must be matched by a finding on
 // its line, every finding must be expected, and the negative package
-// must be silent.
+// must be silent. unusedsuppression runs with the full analyzer set —
+// it judges directives against what the other analyzers found, so a
+// single-analyzer selection would never report anything.
 func TestGolden(t *testing.T) {
+	analyzersFor := func(t *testing.T, name string) []*Analyzer {
+		if name == "unusedsuppression" {
+			return Analyzers()
+		}
+		return []*Analyzer{analyzerByName(t, name)}
+	}
 	for _, name := range []string{
 		"nodeterminism", "maporder", "lockdiscipline", "atomicfields", "scratchescape",
+		"collectivesym", "payloadcodec", "seedflow", "unusedsuppression",
 	} {
 		t.Run(name+"/pos", func(t *testing.T) {
 			pkg := loadTestdata(t, name+"/pos")
-			runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, name)}}
+			runner := &Runner{Analyzers: analyzersFor(t, name)}
 			diags := runner.Run([]*Package{pkg})
 			wants := wantsOf(t, pkg.Dir)
 			if len(wants) == 0 {
@@ -119,7 +128,7 @@ func TestGolden(t *testing.T) {
 		})
 		t.Run(name+"/neg", func(t *testing.T) {
 			pkg := loadTestdata(t, name+"/neg")
-			runner := &Runner{Analyzers: []*Analyzer{analyzerByName(t, name)}}
+			runner := &Runner{Analyzers: analyzersFor(t, name)}
 			for _, d := range runner.Run([]*Package{pkg}) {
 				t.Errorf("false positive: %s", d)
 			}

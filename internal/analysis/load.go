@@ -26,6 +26,10 @@ type Package struct {
 	// information is incomplete, and the errors themselves are the
 	// findings.
 	TypeErrors []error
+
+	// funcSummaries caches the intra-package call-graph summaries
+	// (callgraph.go), computed lazily on first use.
+	funcSummaries map[*types.Func]*funcSummary
 }
 
 // Loader parses and typechecks packages of one module with a single

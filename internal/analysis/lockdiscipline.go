@@ -14,6 +14,10 @@ import (
 // intra-procedural and path-insensitive: statements are scanned in
 // source order with a held-lock set; branches that terminate (return,
 // panic) do not leak their lock state past the branch.
+//
+// Scope: the whole module, cmd/* and examples/* included — any caller
+// holding a lock across a send can wedge the transport, wherever it
+// lives.
 func newLockdiscipline() *Analyzer {
 	a := &Analyzer{
 		Name: "lockdiscipline",

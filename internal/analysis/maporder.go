@@ -15,6 +15,10 @@ import (
 // them before consuming (see rankState.sumLoad and the topology-fixed
 // combine order of the tree collectives); an append whose target is
 // sorted by a later statement of the same block is therefore exempt.
+//
+// Scope: the whole module, cmd/* and examples/* included — map-order
+// nondeterminism corrupts reproducibility wherever it appears, and the
+// collect-then-sort exemption already covers the legitimate pattern.
 func newMaporder() *Analyzer {
 	a := &Analyzer{
 		Name: "maporder",

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/ast"
+	"strconv"
+	"strings"
 )
 
 // forbiddenTimeFuncs are the wall-clock reads banned from protocol
@@ -30,40 +32,90 @@ var globalRandFuncs = map[string]bool{
 }
 
 // newNodeterminism forbids nondeterminism sources in the protocol
-// packages (core, lb, amt, comm, termination): wall-clock reads
-// (time.Now / time.Since / time.Until — route them through
-// internal/clock, which documents the two sanctioned purposes) and
-// global math/rand draws (use a per-rank seeded *rand.Rand, e.g.
-// core.SeededRNG). The protocol's bit-determinism under faults —
-// proved by the chaos suite — survives only while no decision reads
-// ambient entropy.
+// packages: wall-clock reads (time.Now / time.Since / time.Until —
+// route them through internal/clock, which documents the two sanctioned
+// purposes) and global math/rand draws (use a per-rank seeded
+// *rand.Rand, e.g. core.SeededRNG). The protocol's bit-determinism
+// under faults — proved by the chaos suite — survives only while no
+// decision reads ambient entropy.
+//
+// Scope: the protocol packages (internal/core, internal/lb,
+// internal/amt, internal/comm, internal/termination, internal/serve)
+// plus examples/* — the examples are executable protocol documentation
+// and must replay exactly like the protocol itself. Carve-outs:
+// internal/comm/wire (dial backoff, RTT measurement and write deadlines
+// legitimately read the wall clock below the protocol; see
+// protocolPackage) and cmd/* (lbnode's startup timeouts and lbtop's
+// dashboard refresh are operator I/O, not protocol decisions — the
+// protocol work those commands trigger lives in internal/ and is
+// covered there).
+//
+// When the offending file already imports internal/clock, the finding
+// carries a suggested fix rewriting time.X to the clock funnel's
+// equivalent (applied by `lbvet -fix`).
 func newNodeterminism() *Analyzer {
 	a := &Analyzer{
 		Name: "nodeterminism",
-		Doc:  "forbid wall-clock reads and global math/rand draws in protocol packages",
+		Doc:  "forbid wall-clock reads and global math/rand draws in protocol packages and examples",
 	}
 	a.Run = func(pass *Pass) {
-		if !protocolPackage(pass.Pkg.Path) {
+		if !protocolPackage(pass.Pkg.Path) && !matchesSegmentPath(pass.Pkg.Path, "examples") {
 			return
 		}
-		walkStack(pass.Pkg.Files, func(n ast.Node, _ []ast.Node) {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return
-			}
-			if name, ok := pkgFunc(pass.Pkg.Info, call, "time"); ok && forbiddenTimeFuncs[name] {
-				pass.Reportf(call.Pos(),
-					"wall-clock read time.%s in protocol package: use internal/clock (observability stamps and retry pacing only)", name)
-				return
-			}
-			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
-				if name, ok := pkgFunc(pass.Pkg.Info, call, randPkg); ok && globalRandFuncs[name] {
-					pass.Reportf(call.Pos(),
-						"global %s.%s in protocol package: draw from a per-rank seeded *rand.Rand (core.SeededRNG) instead", randPkg, name)
-					return
+		for _, f := range pass.Pkg.Files {
+			clockName := clockImportName(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
 				}
-			}
-		})
+				if name, ok := pkgFunc(pass.Pkg.Info, call, "time"); ok && forbiddenTimeFuncs[name] {
+					msg := "wall-clock read time.%s in protocol package: use internal/clock (observability stamps and retry pacing only)"
+					if clockName == "" {
+						pass.Reportf(call.Pos(), msg, name)
+						return true
+					}
+					funPos := pass.Pkg.Fset.Position(call.Fun.Pos())
+					funEnd := pass.Pkg.Fset.Position(call.Fun.End())
+					pass.ReportWithFix(call.Pos(), SuggestedFix{
+						Message: "route through internal/clock",
+						Edits: []TextEdit{{
+							Filename: funPos.Filename,
+							Start:    funPos.Offset,
+							End:      funEnd.Offset,
+							New:      clockName + "." + name,
+						}},
+					}, msg, name)
+					return true
+				}
+				for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+					if name, ok := pkgFunc(pass.Pkg.Info, call, randPkg); ok && globalRandFuncs[name] {
+						pass.Reportf(call.Pos(),
+							"global %s.%s in protocol package: draw from a per-rank seeded *rand.Rand (core.SeededRNG) instead", randPkg, name)
+						return true
+					}
+				}
+				return true
+			})
+		}
 	}
 	return a
+}
+
+// clockImportName returns the local name under which f imports
+// internal/clock, or "" when it does not. The suggested fix only
+// rewrites time.X calls in files where the funnel is already in scope —
+// adding imports is beyond a blindly-applicable edit.
+func clockImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasSuffix(path, "internal/clock") {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "clock"
+	}
+	return ""
 }

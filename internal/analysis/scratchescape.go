@@ -37,6 +37,10 @@ func isScratchSelector(info *types.Info, sel *ast.SelectorExpr) bool {
 // call") — those sites carry a //lint:ignore scratchescape directive
 // citing the contract; anything else is a latent aliasing bug of the
 // kind the PR 2 buffer reuse made possible.
+//
+// Scope: the whole module with no carve-outs; the name heuristic
+// (isScratchSelector) is itself the limiter, firing only on fields
+// following the engine's scratch-buffer naming conventions.
 func newScratchescape() *Analyzer {
 	a := &Analyzer{
 		Name: "scratchescape",

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newSeedflow checks that every random source is constructed from a
+// plumbed seed, not a literal or ambient value. The repo's determinism
+// story rests on one convention: randomness enters through a seed field
+// (Config.Seed, Spec.Seed, FaultSeed, ...) or a seed parameter, and is
+// derived downward with core.SeededRNG / deriveSeed — never invented at
+// the construction site. A literal `rand.NewSource(7)` buried in a
+// driver silently pins behavior no flag can change, and a rank-derived
+// seed (`NewSource(int64(rc.Rank()))`) cannot be replayed under a
+// different configuration.
+//
+// Flagged constructions: rand.NewSource / rand/v2's NewPCG and
+// NewChaCha8, composite literals of *Source-named types (splitmixSource),
+// and calls into seed-accepting functions — a function whose name
+// contains "Seeded" (first argument is the seed), or a same-package
+// function whose call-graph summary (callgraph.go) shows a parameter
+// flowing into a source construction; that summary propagation is what
+// makes the check one call level deep, so `buildWorkload(11)` is caught
+// even though the NewSource sits inside buildWorkload.
+//
+// An argument passes when it mentions a seed-named identifier or field
+// (any name containing "seed", case-insensitive) or a numeric parameter
+// of the enclosing function (the seed was plumbed in; the caller's call
+// site is checked in turn, one level up).
+//
+// Scope: the whole module — cmd/* and examples/* included, since
+// literal seeds in drivers are exactly the bug class — except
+// internal/comm/wire (dial backoff jitter is not protocol-visible; the
+// cross-transport identity tests enforce that) and this analysis
+// package itself.
+func newSeedflow() *Analyzer {
+	a := &Analyzer{
+		Name: "seedflow",
+		Doc:  "require random sources to be constructed from plumbed seeds, not literals or ambient values",
+	}
+	a.Run = func(pass *Pass) {
+		if matchesSegmentPath(pass.Pkg.Path, "internal/comm/wire") ||
+			matchesSegmentPath(pass.Pkg.Path, "internal/analysis") {
+			return
+		}
+		info := pass.Pkg.Info
+		sums := summaries(pass.Pkg)
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				params := paramObjects(info, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					args := seedSinkArgs(info, n, sums)
+					if len(args) == 0 {
+						args = seededCallArgs(info, n)
+					}
+					for _, arg := range args {
+						if seedDerived(info, arg, params) {
+							continue
+						}
+						pass.Reportf(arg.Pos(),
+							"random source seeded from %s, which carries no plumbed seed: derive it from a Config/Spec seed field or a seed parameter",
+							types.ExprString(arg))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// seededCallArgs returns the seed argument of a call to a
+// "Seeded"-named function from another package (core.SeededRNG): the
+// first argument. Same-package seed flows are resolved precisely via
+// summaries; across packages the naming convention is the contract.
+func seededCallArgs(info *types.Info, n ast.Node) []ast.Expr {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil || !strings.Contains(callee.Name(), "Seeded") {
+		return nil
+	}
+	return call.Args[:1]
+}
+
+// seedDerived reports whether e is an acceptable seed expression: it
+// mentions an identifier or field whose name contains "seed"
+// (case-insensitive), or a numeric parameter of the enclosing function.
+func seedDerived(info *types.Info, e ast.Expr, params []types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+			return false
+		}
+		obj := info.ObjectOf(id)
+		for _, p := range params {
+			if p != nil && obj == p && isNumeric(p.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	// A variadic stream-id parameter ([]int64) plumbs seeds exactly like
+	// a scalar one.
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		t = s.Elem()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUnsigned) != 0
+}

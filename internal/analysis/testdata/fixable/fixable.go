@@ -1,0 +1,25 @@
+// Package fixable exercises every suggested-fix producer: a wall-clock
+// read in a file that already imports internal/clock (nodeterminism
+// rewrites it to the funnel) and two stale lint:ignore directives, one
+// alone on its line, one trailing code (unusedsuppression deletes
+// them). The driver test copies this package aside, applies the fixes,
+// and requires the second run to be clean — -fix must be idempotent.
+package fixable
+
+import (
+	"time"
+
+	"temperedlb/internal/clock"
+)
+
+// epoch keeps the time import alive after -fix rewrites the calls.
+var epoch = time.Unix(0, 0)
+
+var _ = clock.Now
+
+//lint:ignore maporder stale directive alone on its line
+var counter int
+
+func stale() bool {
+	return time.Now().After(epoch) //lint:ignore atomicfields stale trailing directive
+}

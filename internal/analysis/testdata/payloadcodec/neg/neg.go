@@ -1,0 +1,115 @@
+// Negative cases: band-correct, symmetric, unique registrations paired
+// with sends of the registered types; branchy codecs whose consecutive
+// duplicate calls collapse before the symmetry comparison; forwarding
+// helpers whose payload is statically an interface.
+package neg
+
+type Encoder struct{}
+
+func (*Encoder) U32(uint32)  {}
+func (*Encoder) U64(uint64)  {}
+func (*Encoder) I64(int64)   {}
+func (*Encoder) F64(float64) {}
+func (*Encoder) Bool(bool)   {}
+
+type Decoder struct{}
+
+func (*Decoder) U32() uint32  { return 0 }
+func (*Decoder) U64() uint64  { return 0 }
+func (*Decoder) I64() int64   { return 0 }
+func (*Decoder) F64() float64 { return 0 }
+func (*Decoder) Bool() bool   { return false }
+
+type wireAPI struct{}
+
+func (wireAPI) RegisterWirePayload(id int, enc, dec any) {}
+
+var wire wireAPI
+
+type msg struct {
+	Vals []float64
+	B    int64
+}
+
+type pair struct{ Big bool }
+
+func init() {
+	// Straight-line codec: U32 F64 I64 on both sides (loops repeat a
+	// value method; repetition count is data-dependent and not compared).
+	wire.RegisterWirePayload(64,
+		func(e *Encoder, v msg) {
+			e.U32(uint32(len(v.Vals)))
+			for _, x := range v.Vals {
+				e.F64(x)
+			}
+			e.I64(v.B)
+		},
+		func(d *Decoder) msg {
+			n := int(d.U32())
+			out := msg{Vals: make([]float64, n)}
+			for i := range out.Vals {
+				out.Vals[i] = d.F64()
+			}
+			out.B = d.I64()
+			return out
+		})
+
+	// Branchy encoder: [U64 U64 Bool] collapses to [U64 Bool], matching
+	// the decoder.
+	wire.RegisterWirePayload(65,
+		func(e *Encoder, v pair) {
+			if v.Big {
+				e.U64(1)
+				e.U64(2)
+			} else {
+				e.U64(3)
+			}
+			e.Bool(v.Big)
+		},
+		func(d *Decoder) pair {
+			var p pair
+			_ = d.U64()
+			p.Big = d.Bool()
+			return p
+		})
+
+	// Unnamed types register like named ones.
+	wire.RegisterWirePayload(66,
+		func(e *Encoder, v []float64) {
+			e.U32(uint32(len(v)))
+			for _, x := range v {
+				e.F64(x)
+			}
+		},
+		func(d *Decoder) []float64 {
+			out := make([]float64, d.U32())
+			for i := range out {
+				out[i] = d.F64()
+			}
+			return out
+		})
+}
+
+type Context struct{}
+
+func (*Context) Send(to, h int, data any) {}
+
+func sendRegistered(rc *Context, m msg) {
+	rc.Send(1, 2, m)
+	rc.Send(1, 2, []float64{1, 2})
+}
+
+// A forwarding helper's payload is statically an interface; the concrete
+// call sites feeding it are checked instead.
+func forward(rc *Context, data any) {
+	rc.Send(1, 2, data)
+}
+
+// Send methods on other receivers are not runtime sends.
+type socket struct{}
+
+func (socket) Send(b []byte) {}
+
+func raw(s socket) {
+	s.Send([]byte("frame"))
+}

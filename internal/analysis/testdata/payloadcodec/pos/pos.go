@@ -1,0 +1,70 @@
+// Positive cases: band violations, asymmetric codecs, duplicate ids,
+// and sends of unregistered types. Encoder/Decoder and the wire
+// registrar are local stubs — the analyzer matches RegisterWirePayload
+// by name and reads the payload type off the encoder's signature. This
+// package loads outside internal/amt and internal/lb, so it owns the
+// application band (ids >= 64).
+package pos
+
+type Encoder struct{}
+
+func (*Encoder) U32(uint32)  {}
+func (*Encoder) U64(uint64)  {}
+func (*Encoder) I64(int64)   {}
+func (*Encoder) F64(float64) {}
+func (*Encoder) Bool(bool)   {}
+
+type Decoder struct{}
+
+func (*Decoder) U32() uint32  { return 0 }
+func (*Decoder) U64() uint64  { return 0 }
+func (*Decoder) I64() int64   { return 0 }
+func (*Decoder) F64() float64 { return 0 }
+func (*Decoder) Bool() bool   { return false }
+
+type wireAPI struct{}
+
+func (wireAPI) RegisterWirePayload(id int, enc, dec any) {}
+
+var wire wireAPI
+
+type bandMsg struct{ A uint32 }
+
+type skewMsg struct {
+	A uint32
+	B int64
+}
+
+type dupA struct{ V uint64 }
+
+type dupB struct{ V uint64 }
+
+func init() {
+	// Id 7 sits in the runtime band; this package owns >= 64.
+	wire.RegisterWirePayload(7, // want "outside this package's application band"
+		func(e *Encoder, v bandMsg) { e.U32(v.A) },
+		func(d *Decoder) bandMsg { return bandMsg{A: d.U32()} })
+
+	// Encoder writes U32 I64, decoder reads U32 F64: field order is the
+	// wire format.
+	wire.RegisterWirePayload(64, // want "asymmetric: encoder writes"
+		func(e *Encoder, v skewMsg) { e.U32(v.A); e.I64(v.B) },
+		func(d *Decoder) skewMsg { return skewMsg{A: d.U32(), B: int64(d.F64())} })
+
+	wire.RegisterWirePayload(70,
+		func(e *Encoder, v dupA) { e.U64(v.V) },
+		func(d *Decoder) dupA { return dupA{V: d.U64()} })
+	wire.RegisterWirePayload(70, // want "registered twice"
+		func(e *Encoder, v dupB) { e.U64(v.V) },
+		func(d *Decoder) dupB { return dupB{V: d.U64()} })
+}
+
+type Context struct{}
+
+func (*Context) Send(to, h int, data any) {}
+
+type orphan struct{ X int }
+
+func sendOrphan(rc *Context) {
+	rc.Send(1, 2, orphan{X: 3}) // want "no wire.RegisterPayload codec"
+}

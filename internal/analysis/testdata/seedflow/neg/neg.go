@@ -1,0 +1,47 @@
+// Negative cases: every source construction traces back to a seed
+// field, a seed-named identifier, or a numeric parameter of the
+// enclosing function (the plumbing convention).
+package neg
+
+import "math/rand"
+
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) next() uint64 { s.state++; return s.state }
+
+type Config struct{ Seed int64 }
+
+func fromField(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+func fromSeedParam(seed int64) *splitmixSource {
+	return &splitmixSource{state: uint64(seed)}
+}
+
+// Any numeric parameter counts as plumbed: the caller's call site is
+// checked in turn, one level up.
+func fromNumericParam(trial int64) *rand.Rand {
+	return rand.New(rand.NewSource(trial))
+}
+
+func derive(base, stream int64) int64 { return base ^ stream<<17 }
+
+func viaDerivation(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(derive(cfg.Seed, 1)))
+}
+
+func SeededStream(seed int64) int64 { return seed * 2 }
+
+func seededFromField(cfg Config) int64 {
+	return SeededStream(cfg.Seed)
+}
+
+func build(n int, s int64) *rand.Rand {
+	_ = n
+	return rand.New(rand.NewSource(s))
+}
+
+func callerPlumbs(workloadSeed int64) *rand.Rand {
+	return build(3, workloadSeed)
+}

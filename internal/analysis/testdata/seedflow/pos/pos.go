@@ -1,0 +1,49 @@
+// Positive cases: random sources constructed from literals or ambient
+// values instead of plumbed seeds.
+package pos
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) next() uint64 { s.state++; return s.state }
+
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "random source seeded from 42"
+}
+
+func literalPCG() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want "carries no plumbed seed"
+}
+
+func compositeLiteral() *splitmixSource {
+	return &splitmixSource{state: 7} // want "random source seeded from 7"
+}
+
+// name is a parameter, but not a numeric one: deriving a seed from it
+// is ambient, not plumbed.
+func ambientValue(name string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(len(name)))) // want "carries no plumbed seed"
+}
+
+// build's s parameter flows into NewSource, so its call sites are
+// checked one level up via the call-graph summary.
+func build(n int, s int64) *rand.Rand {
+	_ = n
+	return rand.New(rand.NewSource(s))
+}
+
+func callerOfBuild() *rand.Rand {
+	return build(3, 99) // want "random source seeded from 99"
+}
+
+// SeededStream follows the cross-package naming convention: the first
+// argument of a Seeded-named function is a seed.
+func SeededStream(seed int64) int64 { return seed * 2 }
+
+func callerOfSeeded() int64 {
+	return SeededStream(5) // want "random source seeded from 5"
+}

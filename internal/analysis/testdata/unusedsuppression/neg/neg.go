@@ -1,0 +1,20 @@
+// Negative cases: a live directive (it suppresses a real maporder
+// finding) and a stale one covered by a meta-directive naming
+// unusedsuppression. The golden test runs the full analyzer set and
+// requires total silence.
+package neg
+
+type sender struct{}
+
+func (sender) Send(int) {}
+
+func sendInRange(m map[int]int, s sender) {
+	for k := range m {
+		//lint:ignore maporder fixture exercises a live suppression
+		s.Send(k)
+	}
+}
+
+//lint:ignore unusedsuppression demonstrating one-level meta-suppression
+//lint:ignore atomicfields intentionally stale for the meta test
+var keep = 1

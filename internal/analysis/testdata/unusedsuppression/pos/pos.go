@@ -1,0 +1,11 @@
+// Positive cases: lint:ignore directives that suppress nothing. The
+// golden test runs the full analyzer set over this package, so both
+// named analyzers are in the selection and the directives are judged.
+package pos
+
+//lint:ignore maporder stale: nothing below trips maporder anymore // want "lint:ignore maporder directive suppresses no finding"
+var a = 1
+
+func trailing() int {
+	return a //lint:ignore nodeterminism stale trailing exception // want "lint:ignore nodeterminism directive suppresses no finding"
+}

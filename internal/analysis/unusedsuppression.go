@@ -1,0 +1,33 @@
+package analysis
+
+// unusedSuppressionName is the analyzer name under which the Runner
+// reports stale //lint:ignore directives.
+const unusedSuppressionName = "unusedsuppression"
+
+// newUnusedsuppression flags every //lint:ignore directive that
+// suppressed no diagnostic in the current run. A suppression is a
+// documented exception to a contract; when a refactor removes the
+// violation underneath it, the directive becomes a standing invitation
+// to reintroduce the bug silently. This analyzer makes the allowlist
+// monotonically shrinking: a directive either earns its keep on every
+// run or is deleted (each finding carries a suggested fix removing the
+// directive, applied by `lbvet -fix`).
+//
+// The check is implemented inside the Runner rather than as a Run/Finish
+// pass, because usedness is only known after every other analyzer has
+// reported and suppression has been applied; this Analyzer value exists
+// so the check is selectable, listable and documented like the rest.
+//
+// Scope: the whole module. Only directives naming an analyzer in the
+// current selection are judged — under `-only=maporder` a nodeterminism
+// directive's usefulness is unknowable — and packages with type errors
+// are exempt (no analyzer ran there). A finding is itself suppressible
+// with //lint:ignore unusedsuppression <reason>, for directives kept
+// deliberately (e.g. documenting a contract that only manifests under
+// build tags).
+func newUnusedsuppression() *Analyzer {
+	return &Analyzer{
+		Name: unusedSuppressionName,
+		Doc:  "flag lint:ignore directives that no longer suppress any finding",
+	}
+}

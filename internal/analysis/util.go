@@ -123,6 +123,9 @@ func namedTypeName(t types.Type) string {
 // path segments relative to any module prefix, so synthetic testdata
 // paths like td/internal/core/x qualify too.
 //
+// internal/serve is protocol: its per-phase trigger decisions must be
+// rank-identical, exactly like the balancer underneath.
+//
 // internal/comm/wire is carved out: it sits below the protocol — dial
 // backoff, RTT measurement and write deadlines legitimately read the
 // wall clock, and none of that state feeds a protocol decision (the
@@ -138,6 +141,7 @@ func protocolPackage(path string) bool {
 		"internal/amt",
 		"internal/comm",
 		"internal/termination",
+		"internal/serve",
 	} {
 		if matchesSegmentPath(path, p) {
 			return true

@@ -147,14 +147,18 @@ func (sc *engineScratch) prepare(numRanks int, cfg *Config) {
 	if len(sc.states) == numRanks {
 		return
 	}
+	// The placeholder streams are re-pointed at the trial's derived
+	// seeds before any draw (see the Reseed loop in run); deriving the
+	// placeholders from cfg.Seed keeps every construction site fed from
+	// the plumbed seed.
 	sc.states = make([]*InformState, numRanks)
 	sc.transferRNG = make([]*rand.Rand, numRanks)
 	for r := 0; r < numRanks; r++ {
-		sc.states[r] = NewInformState(Rank(r), numRanks, cfg, newRNG(0))
-		sc.transferRNG[r] = newRNG(0)
+		sc.states[r] = NewInformState(Rank(r), numRanks, cfg, newRNG(cfg.Seed))
+		sc.transferRNG[r] = newRNG(cfg.Seed)
 	}
-	sc.orderRNG = newRNG(0)
-	sc.dropRNG = newRNG(0)
+	sc.orderRNG = newRNG(cfg.Seed)
+	sc.dropRNG = newRNG(cfg.Seed)
 	sc.order = make([]int, numRanks)
 	sc.work = nil
 }
